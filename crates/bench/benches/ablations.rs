@@ -1,0 +1,64 @@
+//! Ablation benches (experiments A1 and A2 in DESIGN.md):
+//!
+//! * A1 — aligned vs unaligned SIMD memory access: the same threshold loop
+//!   run on the image's aligned row starts vs deliberately offset windows.
+//! * A2 — backend ablation on identical data: scalar vs autovec vs native
+//!   vs the two simulated-ISA interpreters (small image: the interpreters
+//!   are semantic models, 2-3 orders of magnitude slower by design).
+
+use bench::bench_image;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pixelimage::{Image, Resolution};
+use simdbench_core::threshold::{threshold_row, threshold_u8, ThresholdType};
+use simdbench_core::Engine;
+
+fn bench_alignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_alignment");
+    let src = bench_image(Resolution::Mp1);
+    let mut dst = Image::<u8>::new(src.width(), src.height());
+    group.bench_function("threshold_aligned_rows", |b| {
+        b.iter(|| {
+            for y in 0..src.height() {
+                threshold_row(
+                    src.row_padded(y),
+                    dst.row_padded_mut(y),
+                    128,
+                    255,
+                    ThresholdType::Binary,
+                    Engine::Native,
+                );
+            }
+        })
+    });
+    group.bench_function("threshold_offset_rows", |b| {
+        b.iter(|| {
+            for y in 0..src.height() {
+                // Offset by one byte: every vector access becomes unaligned.
+                let s = &src.row_padded(y)[1..];
+                let d = &mut dst.row_padded_mut(y)[1..];
+                threshold_row(s, d, 128, 255, ThresholdType::Binary, Engine::Native);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_backend");
+    group.sample_size(10);
+    let src = bench_image(Resolution::Vga);
+    let mut dst = Image::<u8>::new(src.width(), src.height());
+    for engine in Engine::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("threshold_vga", engine.label()),
+            &engine,
+            |b, &engine| {
+                b.iter(|| threshold_u8(&src, &mut dst, 128, 255, ThresholdType::Binary, engine))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alignment, bench_backends);
+criterion_main!(benches);

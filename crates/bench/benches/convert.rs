@@ -1,0 +1,27 @@
+//! Table II / Figure 2 — float→short conversion, AUTO vs HAND per size.
+
+use bench::{bench_image_f32, bench_resolutions, TIMED_ENGINES};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pixelimage::Image;
+use simdbench_core::convert::convert_f32_to_i16;
+
+fn bench_convert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convert_f32_to_i16");
+    group.sample_size(20);
+    for res in bench_resolutions() {
+        let src = bench_image_f32(res);
+        let mut dst = Image::<i16>::new(src.width(), src.height());
+        group.throughput(Throughput::Elements(res.pixels() as u64));
+        for engine in TIMED_ENGINES {
+            group.bench_with_input(
+                BenchmarkId::new(engine.label(), res.label()),
+                &engine,
+                |b, &engine| b.iter(|| convert_f32_to_i16(&src, &mut dst, engine)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convert);
+criterion_main!(benches);

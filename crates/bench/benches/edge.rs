@@ -1,0 +1,27 @@
+//! Figure 6 — edge detection pipeline, AUTO vs HAND per size.
+
+use bench::{bench_image, bench_resolutions, TIMED_ENGINES};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pixelimage::Image;
+use simdbench_core::edge::edge_detect;
+
+fn bench_edge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_detection");
+    group.sample_size(15);
+    for res in bench_resolutions() {
+        let src = bench_image(res);
+        let mut dst = Image::<u8>::new(src.width(), src.height());
+        group.throughput(Throughput::Elements(res.pixels() as u64));
+        for engine in TIMED_ENGINES {
+            group.bench_with_input(
+                BenchmarkId::new(engine.label(), res.label()),
+                &engine,
+                |b, &engine| b.iter(|| edge_detect(&src, &mut dst, 96, engine)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_edge);
+criterion_main!(benches);

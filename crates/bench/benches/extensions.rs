@@ -1,0 +1,128 @@
+//! Extension kernels (experiments A5, A6): BT.601 color conversion and 2x
+//! downsampling, AUTO vs HAND — the related-work workloads the paper's
+//! motivation cites (color conversion 9.5x, resize 7.6x on Tegra 3).
+
+use bench::bench_image;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pixelimage::{synthetic_image, Image, Resolution};
+use simdbench_core::color::bgr_to_gray;
+use simdbench_core::resize::downsample2x;
+use simdbench_core::Engine;
+
+fn bench_color(c: &mut Criterion) {
+    let res = Resolution::Mp1;
+    let (w, h) = res.dims();
+    let b = synthetic_image(w, h, 1);
+    let g = synthetic_image(w, h, 2);
+    let r = synthetic_image(w, h, 3);
+    let mut dst = Image::<u8>::new(w, h);
+    let mut group = c.benchmark_group("color_bgr_to_gray");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(res.pixels() as u64));
+    for engine in [Engine::Scalar, Engine::Autovec, Engine::Native] {
+        group.bench_with_input(
+            BenchmarkId::new(engine.label(), res.label()),
+            &engine,
+            |bch, &engine| bch.iter(|| bgr_to_gray(&b, &g, &r, &mut dst, engine)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_resize(c: &mut Criterion) {
+    let res = Resolution::Mp5;
+    let src = bench_image(res);
+    let mut dst = Image::<u8>::new(src.width() / 2, src.height() / 2);
+    let mut group = c.benchmark_group("downsample_2x");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(res.pixels() as u64));
+    for engine in [Engine::Scalar, Engine::Autovec, Engine::Native] {
+        group.bench_with_input(
+            BenchmarkId::new(engine.label(), res.label()),
+            &engine,
+            |bch, &engine| bch.iter(|| downsample2x(&src, &mut dst, engine)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_avx2(c: &mut Criterion) {
+    // Experiment A8: the related-work claim that AVX delivers 1.58-1.88x
+    // over SSE for compute-bound kernels, tested on the convert loop.
+    let res = Resolution::Mp1;
+    let (w, h) = res.dims();
+    let gray = synthetic_image(w, h, 5);
+    let src = pixelimage::convert::u8_to_f32(&gray, 257.0, -32768.0);
+    let mut group = c.benchmark_group("avx2_vs_sse2");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(res.pixels() as u64));
+    group.bench_function("convert_sse2", |bch| {
+        let mut dst = Image::<i16>::new(w, h);
+        bch.iter(|| {
+            for y in 0..h {
+                simdbench_core::convert::convert_row_native(src.row(y), dst.row_mut(y));
+            }
+        })
+    });
+    group.bench_function("convert_avx2", |bch| {
+        let mut dst = Image::<i16>::new(w, h);
+        bch.iter(|| {
+            for y in 0..h {
+                simdbench_core::avx::convert_row_avx2(src.row(y), dst.row_mut(y));
+            }
+        })
+    });
+    group.bench_function("threshold_sse2", |bch| {
+        let mut dst = Image::<u8>::new(w, h);
+        bch.iter(|| {
+            for y in 0..h {
+                simdbench_core::threshold::threshold_row_native(
+                    gray.row(y),
+                    dst.row_mut(y),
+                    128,
+                    255,
+                    simdbench_core::ThresholdType::Binary,
+                );
+            }
+        })
+    });
+    group.bench_function("threshold_avx2", |bch| {
+        let mut dst = Image::<u8>::new(w, h);
+        bch.iter(|| {
+            for y in 0..h {
+                simdbench_core::avx::threshold_row_avx2(
+                    gray.row(y),
+                    dst.row_mut(y),
+                    128,
+                    255,
+                    simdbench_core::ThresholdType::Binary,
+                );
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_median(c: &mut Criterion) {
+    // Experiment A9: the related work's biggest NEON number (23x for median
+    // blur) — branchless min/max network vs per-pixel sort.
+    let res = Resolution::Mp1;
+    let src = bench_image(res);
+    let mut dst = Image::<u8>::new(src.width(), src.height());
+    let mut group = c.benchmark_group("median_blur3");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(res.pixels() as u64));
+    for engine in [Engine::Scalar, Engine::Autovec, Engine::Native] {
+        group.bench_with_input(
+            BenchmarkId::new(engine.label(), res.label()),
+            &engine,
+            |bch, &engine| {
+                bch.iter(|| simdbench_core::median::median_blur3(&src, &mut dst, engine))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_color, bench_resize, bench_avx2, bench_median);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 4 — Gaussian blur (sigma = 1), AUTO vs HAND per size.
+
+use bench::{bench_image, bench_resolutions, TIMED_ENGINES};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pixelimage::Image;
+use simdbench_core::gaussian::gaussian_blur;
+
+fn bench_gaussian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gaussian_blur");
+    group.sample_size(15);
+    for res in bench_resolutions() {
+        let src = bench_image(res);
+        let mut dst = Image::<u8>::new(src.width(), src.height());
+        group.throughput(Throughput::Elements(res.pixels() as u64));
+        for engine in TIMED_ENGINES {
+            group.bench_with_input(
+                BenchmarkId::new(engine.label(), res.label()),
+                &engine,
+                |b, &engine| b.iter(|| gaussian_blur(&src, &mut dst, engine)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gaussian);
+criterion_main!(benches);

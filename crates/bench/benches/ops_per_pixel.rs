@@ -1,0 +1,60 @@
+//! Section V — instruction-stream measurement cost and the op-trace
+//! counting overhead (the tracer must be cheap enough to leave on in
+//! development builds).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pixelimage::Image;
+use platform_model::workload::{auto_mix, hand_mix, Kernel};
+use platform_model::Isa;
+use simdbench_core::convert::convert_row_neon_sim;
+
+fn bench_tracing_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("op_trace");
+    let src: Vec<f32> = (0..4096).map(|i| (i as f32) * 3.7 - 8000.0).collect();
+    let mut dst = vec![0i16; 4096];
+
+    group.bench_function("sim_kernel_trace_off", |b| {
+        op_trace::set_enabled(false);
+        b.iter(|| convert_row_neon_sim(&src, &mut dst));
+    });
+    group.bench_function("sim_kernel_trace_on", |b| {
+        op_trace::reset();
+        op_trace::set_enabled(true);
+        b.iter(|| convert_row_neon_sim(&src, &mut dst));
+        op_trace::set_enabled(false);
+    });
+    group.finish();
+}
+
+fn bench_mix_measurement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("section_v_mixes");
+    group.sample_size(10);
+    // The full Section V measurement for one kernel (trace strip + mix).
+    group.bench_function("measure_hand_convert_neon", |b| {
+        b.iter(|| {
+            // Re-measure from scratch (bypass the cache by tracing inline).
+            let src = pixelimage::synthetic_image(256, 24, 1);
+            let srcf = pixelimage::convert::u8_to_f32(&src, 100.0, -10000.0);
+            let mut dst = Image::<i16>::new(256, 24);
+            let (_, mix) = op_trace::trace(|| {
+                simdbench_core::convert::convert_f32_to_i16(
+                    &srcf,
+                    &mut dst,
+                    simdbench_core::Engine::NeonSim,
+                )
+            });
+            mix
+        })
+    });
+    group.bench_function("cached_mix_lookup", |b| {
+        let _ = hand_mix(Kernel::Convert, Isa::Neon); // warm the cache
+        b.iter(|| hand_mix(Kernel::Convert, Isa::Neon))
+    });
+    group.bench_function("modelled_auto_mix", |b| {
+        b.iter(|| auto_mix(Kernel::Edge, Isa::Neon))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tracing_overhead, bench_mix_measurement);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Experiment A3 — multi-core scaling of the SIMD kernels (the paper's
+//! stated future work): rayon row-parallel Gaussian blur vs thread count.
+
+use bench::bench_image;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pixelimage::{Image, Resolution};
+use simdbench_core::gaussian::gaussian_blur;
+use simdbench_core::parallel::par_gaussian_blur;
+use simdbench_core::Engine;
+
+fn bench_parallel(c: &mut Criterion) {
+    let res = Resolution::Mp5;
+    let src = bench_image(res);
+    let mut dst = Image::<u8>::new(src.width(), src.height());
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(res.pixels() as u64));
+
+    group.bench_function("gaussian_1thread_seq", |b| {
+        b.iter(|| gaussian_blur(&src, &mut dst, Engine::Native))
+    });
+
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut threads = vec![1usize, 2, 4, 8];
+    threads.retain(|&t| t <= max.max(1));
+    for t in threads {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .expect("pool");
+        group.bench_with_input(
+            BenchmarkId::new("gaussian_par", t),
+            &t,
+            |b, _| {
+                pool.install(|| b.iter(|| par_gaussian_blur(&src, &mut dst, Engine::Native)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 5 — Sobel filter, AUTO vs HAND per size.
+
+use bench::{bench_image, bench_resolutions, TIMED_ENGINES};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pixelimage::Image;
+use simdbench_core::sobel::{sobel, SobelDirection};
+
+fn bench_sobel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sobel_filter");
+    group.sample_size(15);
+    for res in bench_resolutions() {
+        let src = bench_image(res);
+        let mut dst = Image::<i16>::new(src.width(), src.height());
+        group.throughput(Throughput::Elements(res.pixels() as u64));
+        for engine in TIMED_ENGINES {
+            group.bench_with_input(
+                BenchmarkId::new(engine.label(), res.label()),
+                &engine,
+                |b, &engine| b.iter(|| sobel(&src, &mut dst, SobelDirection::X, engine)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sobel);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Table III — all four image-processing benchmarks at 8 Mpx, AUTO vs HAND.
+
+use bench::bench_image;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pixelimage::{Image, Resolution};
+use simdbench_core::edge::edge_detect;
+use simdbench_core::gaussian::gaussian_blur;
+use simdbench_core::sobel::{sobel, SobelDirection};
+use simdbench_core::threshold::{threshold_u8, ThresholdType};
+use simdbench_core::Engine;
+
+fn bench_table3(c: &mut Criterion) {
+    let res = Resolution::Mp8;
+    let src = bench_image(res);
+    let (w, h) = res.dims();
+    let mut group = c.benchmark_group("table3_8mpx");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(res.pixels() as u64));
+    // The paper's AUTO (compiler) vs HAND (intrinsics) pair.
+    for engine in [Engine::Autovec, Engine::Native] {
+        let strategy = if engine == Engine::Native { "HAND" } else { "AUTO" };
+        let mut dst_u8 = Image::<u8>::new(w, h);
+        let mut dst_i16 = Image::<i16>::new(w, h);
+        group.bench_function(BenchmarkId::new("BinThr", strategy), |b| {
+            b.iter(|| threshold_u8(&src, &mut dst_u8, 128, 255, ThresholdType::Binary, engine))
+        });
+        group.bench_function(BenchmarkId::new("GauBlu", strategy), |b| {
+            b.iter(|| gaussian_blur(&src, &mut dst_u8, engine))
+        });
+        group.bench_function(BenchmarkId::new("SobFil", strategy), |b| {
+            b.iter(|| sobel(&src, &mut dst_i16, SobelDirection::X, engine))
+        });
+        group.bench_function(BenchmarkId::new("EdgDet", strategy), |b| {
+            b.iter(|| edge_detect(&src, &mut dst_u8, 96, engine))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

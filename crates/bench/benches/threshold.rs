@@ -1,0 +1,31 @@
+//! Figure 3 — binary image thresholding, AUTO vs HAND per size.
+
+use bench::{bench_image, bench_resolutions, TIMED_ENGINES};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pixelimage::Image;
+use simdbench_core::threshold::{threshold_u8, ThresholdType};
+
+fn bench_threshold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binary_threshold");
+    group.sample_size(20);
+    for res in bench_resolutions() {
+        let src = bench_image(res);
+        let mut dst = Image::<u8>::new(src.width(), src.height());
+        group.throughput(Throughput::Elements(res.pixels() as u64));
+        for engine in TIMED_ENGINES {
+            group.bench_with_input(
+                BenchmarkId::new(engine.label(), res.label()),
+                &engine,
+                |b, &engine| {
+                    b.iter(|| {
+                        threshold_u8(&src, &mut dst, 128, 255, ThresholdType::Binary, engine)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threshold);
+criterion_main!(benches);

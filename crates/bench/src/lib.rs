@@ -1,0 +1,61 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! One bench target exists per paper artifact (see DESIGN.md's experiment
+//! index): `convert` (Table II / Figure 2), `threshold` (Figure 3),
+//! `gaussian` (Figure 4), `sobel` (Figure 5), `edge` (Figure 6), `table3`
+//! (Table III), plus `ops_per_pixel` (Section V), `ablations` (A1/A2) and
+//! `parallel_scaling` (A3).
+
+use pixelimage::{synthetic_image, Image, Resolution};
+use simdbench_core::Engine;
+
+/// Engines measured by the wall-clock benches. The simulated-ISA engines
+/// are interpreters — they are benchmarked separately (and on small images)
+/// by the `ablations` target.
+pub const TIMED_ENGINES: [Engine; 3] = [Engine::Scalar, Engine::Autovec, Engine::Native];
+
+/// The image sizes the figure benches sweep. VGA and 5 Mpx bracket the
+/// paper's range while keeping `cargo bench` wall time reasonable; pass
+/// `--features` nothing — edit here for the full four-point sweep.
+pub fn bench_resolutions() -> Vec<Resolution> {
+    vec![Resolution::Vga, Resolution::Mp5]
+}
+
+/// Deterministic grayscale input for a resolution.
+pub fn bench_image(res: Resolution) -> Image<u8> {
+    let (w, h) = res.dims();
+    synthetic_image(w, h, 0xBE7C4)
+}
+
+/// Deterministic float input covering the full i16 range (exercises the
+/// saturation paths the paper's benchmark 1 is about).
+pub fn bench_image_f32(res: Resolution) -> Image<f32> {
+    let gray = bench_image(res);
+    pixelimage::convert::u8_to_f32(&gray, 257.0, -32768.0)
+}
+
+/// Throughput label in megapixels for a resolution.
+pub fn mpx(res: Resolution) -> f64 {
+    res.megapixels()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_inputs_are_deterministic() {
+        let a = bench_image(Resolution::Vga);
+        let b = bench_image(Resolution::Vga);
+        assert!(a.pixels_eq(&b));
+    }
+
+    #[test]
+    fn float_input_spans_i16_range() {
+        let f = bench_image_f32(Resolution::Vga);
+        let max = f.iter_pixels().fold(f32::MIN, f32::max);
+        let min = f.iter_pixels().fold(f32::MAX, f32::min);
+        assert!(max > 10000.0);
+        assert!(min < -10000.0);
+    }
+}

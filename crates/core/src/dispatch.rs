@@ -1,0 +1,123 @@
+//! Run-time backend selection — the `cv::setUseOptimized(bool)` mechanism.
+//!
+//! The paper switches its NEON/SSE2 optimizations ON and OFF "using the
+//! OpenCV function `cv::setUseOptimized(bool onOff)` with the benchmarks
+//! labelled accordingly". [`set_use_optimized`] reproduces that global
+//! toggle; [`Engine`] is the finer-grained per-call selector the harness
+//! uses to measure each backend independently.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Which implementation of a kernel to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// Original OpenCV-style element loop (the AUTO-compiled source).
+    Scalar,
+    /// Restructured for compiler auto-vectorization (slice iteration).
+    Autovec,
+    /// Hand-written SSE2 intrinsics through the `sse-sim` surface.
+    Sse2Sim,
+    /// Hand-written NEON intrinsics through the `neon-sim` surface.
+    NeonSim,
+    /// Hand-written intrinsics compiled to the host's real SIMD unit
+    /// (SSE2 on x86_64, NEON on aarch64; falls back to `Autovec`
+    /// elsewhere).
+    Native,
+}
+
+impl Engine {
+    /// All engines, in report order.
+    pub const ALL: [Engine; 5] = [
+        Engine::Scalar,
+        Engine::Autovec,
+        Engine::Sse2Sim,
+        Engine::NeonSim,
+        Engine::Native,
+    ];
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::Scalar => "scalar",
+            Engine::Autovec => "autovec",
+            Engine::Sse2Sim => "sse2-sim",
+            Engine::NeonSim => "neon-sim",
+            Engine::Native => "native",
+        }
+    }
+
+    /// True for the hand-written-intrinsics engines (the paper's HAND).
+    pub fn is_hand(self) -> bool {
+        matches!(self, Engine::Sse2Sim | Engine::NeonSim | Engine::Native)
+    }
+
+    /// The engine `set_use_optimized(true)` selects on this host.
+    pub fn best_available() -> Engine {
+        if cfg!(any(target_arch = "x86_64", target_arch = "aarch64")) {
+            Engine::Native
+        } else {
+            Engine::Autovec
+        }
+    }
+}
+
+static USE_OPTIMIZED: AtomicBool = AtomicBool::new(true);
+
+/// Globally enables (HAND) or disables (AUTO) the optimized intrinsic
+/// kernels, like `cv::setUseOptimized`.
+pub fn set_use_optimized(on: bool) {
+    USE_OPTIMIZED.store(on, Ordering::Relaxed);
+}
+
+/// Current global optimization flag.
+pub fn use_optimized() -> bool {
+    USE_OPTIMIZED.load(Ordering::Relaxed)
+}
+
+/// The engine implied by the global flag: `Native` (or the best available)
+/// when optimized, `Scalar` otherwise.
+pub fn default_engine() -> Engine {
+    if use_optimized() {
+        Engine::best_available()
+    } else {
+        Engine::Scalar
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            Engine::ALL.iter().map(|e| e.label()).collect();
+        assert_eq!(labels.len(), Engine::ALL.len());
+    }
+
+    #[test]
+    fn hand_classification() {
+        assert!(!Engine::Scalar.is_hand());
+        assert!(!Engine::Autovec.is_hand());
+        assert!(Engine::Sse2Sim.is_hand());
+        assert!(Engine::NeonSim.is_hand());
+        assert!(Engine::Native.is_hand());
+    }
+
+    #[test]
+    fn global_toggle_switches_default_engine() {
+        // Note: global state; restore at the end.
+        let initial = use_optimized();
+        set_use_optimized(false);
+        assert_eq!(default_engine(), Engine::Scalar);
+        set_use_optimized(true);
+        assert!(default_engine().is_hand() || default_engine() == Engine::Autovec);
+        set_use_optimized(initial);
+    }
+
+    #[test]
+    fn best_available_on_x86_64_is_native() {
+        #[cfg(target_arch = "x86_64")]
+        assert_eq!(Engine::best_available(), Engine::Native);
+    }
+}

@@ -1,0 +1,539 @@
+//! Benchmark 3 — Gaussian blur (paper Section III-A.3): separable
+//! convolution with a σ=1 Gaussian, fixed-point Q8 weights, replicated
+//! borders.
+//!
+//! The filter runs in two passes, as OpenCV's `sepFilter2D` does for 8-bit
+//! images:
+//!
+//! 1. **Horizontal**: `u16[x] = Σ_k u8[x+k-r] * w[k]` — products fit `u16`
+//!    because the Q8 weights sum to 256 (`255 * 256 = 65280 ≤ 65535`).
+//! 2. **Vertical**: `u8[x] = (Σ_k u16_row[y+k-r][x] * w[k] + 2^15) >> 16` —
+//!    accumulated in `u32`, rounded, exact for constant images.
+//!
+//! Each pass has scalar, autovec-friendly, SSE2 and NEON implementations.
+//! The SIMD paths vectorise the interior columns and fall back to scalar at
+//! the replicated borders and row tails.
+
+use crate::dispatch::Engine;
+use crate::kernelgen::{paper_gaussian_kernel, FixedKernel};
+use pixelimage::Image;
+
+/// Blurs `src` into `dst` with a sampled Gaussian (`ksize` odd taps,
+/// standard deviation `sigma`), using `engine` for both passes.
+pub fn gaussian_blur_with(
+    src: &Image<u8>,
+    dst: &mut Image<u8>,
+    sigma: f64,
+    ksize: usize,
+    engine: Engine,
+) {
+    let kernel = crate::kernelgen::gaussian_kernel_q8(sigma, ksize);
+    gaussian_blur_kernel(src, dst, &kernel, engine);
+}
+
+/// The paper's configuration: σ = 1, 7 taps.
+pub fn gaussian_blur(src: &Image<u8>, dst: &mut Image<u8>, engine: Engine) {
+    let kernel = paper_gaussian_kernel();
+    gaussian_blur_kernel(src, dst, &kernel, engine);
+}
+
+/// Blurs with an explicit Q8 kernel.
+pub fn gaussian_blur_kernel(
+    src: &Image<u8>,
+    dst: &mut Image<u8>,
+    kernel: &FixedKernel,
+    engine: Engine,
+) {
+    assert_eq!(src.width(), dst.width(), "width mismatch");
+    assert_eq!(src.height(), dst.height(), "height mismatch");
+    assert_eq!(kernel.sum(), 256, "kernel must be Q8-normalised");
+    let mut mid = Image::<u16>::new(src.width(), src.height());
+    for y in 0..src.height() {
+        horizontal_row(src.row(y), mid.row_mut(y), kernel, engine);
+    }
+    vertical_pass(&mid, dst, kernel, engine);
+}
+
+// ---------------------------------------------------------------------------
+// Horizontal pass
+// ---------------------------------------------------------------------------
+
+/// Runs the horizontal pass on one row with the chosen engine.
+pub fn horizontal_row(src: &[u8], dst: &mut [u16], kernel: &FixedKernel, engine: Engine) {
+    match engine {
+        Engine::Scalar => horizontal_row_scalar(src, dst, kernel),
+        Engine::Autovec => horizontal_row_autovec(src, dst, kernel),
+        Engine::Sse2Sim => horizontal_row_sse2_sim(src, dst, kernel),
+        Engine::NeonSim => horizontal_row_neon_sim(src, dst, kernel),
+        Engine::Native => horizontal_row_native(src, dst, kernel),
+    }
+}
+
+#[inline]
+fn clamp_idx(i: isize, len: usize) -> usize {
+    i.clamp(0, len as isize - 1) as usize
+}
+
+/// Reference horizontal pass with border replication everywhere.
+pub fn horizontal_row_scalar(src: &[u8], dst: &mut [u16], kernel: &FixedKernel) {
+    assert_eq!(src.len(), dst.len());
+    let r = kernel.radius as isize;
+    for x in 0..src.len() {
+        let mut acc = 0u32;
+        for (k, &w) in kernel.weights.iter().enumerate() {
+            let idx = clamp_idx(x as isize + k as isize - r, src.len());
+            acc += src[idx] as u32 * w as u32;
+        }
+        dst[x] = acc as u16;
+    }
+}
+
+/// Split-loop version: clamped borders, clamp-free interior the compiler
+/// can vectorise.
+pub fn horizontal_row_autovec(src: &[u8], dst: &mut [u16], kernel: &FixedKernel) {
+    assert_eq!(src.len(), dst.len());
+    let width = src.len();
+    let r = kernel.radius;
+    if width <= 2 * r {
+        horizontal_row_scalar(src, dst, kernel);
+        return;
+    }
+    // Borders via the clamped reference.
+    horizontal_row_scalar_range(src, dst, kernel, 0, r);
+    horizontal_row_scalar_range(src, dst, kernel, width - r, width);
+    // Interior: no clamping needed.
+    let weights = &kernel.weights;
+    for x in r..width - r {
+        let window = &src[x - r..x + r + 1];
+        let mut acc = 0u32;
+        for (w, &s) in weights.iter().zip(window.iter()) {
+            acc += s as u32 * *w as u32;
+        }
+        dst[x] = acc as u16;
+    }
+}
+
+fn horizontal_row_scalar_range(
+    src: &[u8],
+    dst: &mut [u16],
+    kernel: &FixedKernel,
+    from: usize,
+    to: usize,
+) {
+    let r = kernel.radius as isize;
+    for x in from..to {
+        let mut acc = 0u32;
+        for (k, &w) in kernel.weights.iter().enumerate() {
+            let idx = clamp_idx(x as isize + k as isize - r, src.len());
+            acc += src[idx] as u32 * w as u32;
+        }
+        dst[x] = acc as u16;
+    }
+}
+
+/// Hand-written SSE2 horizontal pass (simulated surface): per tap, widen
+/// eight bytes to `u16` and multiply-accumulate with `pmullw`.
+pub fn horizontal_row_sse2_sim(src: &[u8], dst: &mut [u16], kernel: &FixedKernel) {
+    use sse_sim::*;
+    assert_eq!(src.len(), dst.len());
+    let width = src.len();
+    let r = kernel.radius;
+    if width < 2 * r + 8 || !kernel.fits_u8() {
+        horizontal_row_scalar(src, dst, kernel);
+        return;
+    }
+    horizontal_row_scalar_range(src, dst, kernel, 0, r);
+    let zero = _mm_setzero_si128();
+    let weights: Vec<__m128i> = kernel
+        .weights
+        .iter()
+        .map(|&w| _mm_set1_epi16(w as i16))
+        .collect();
+    let mut x = r;
+    while x + 8 <= width - r {
+        let mut acc = _mm_setzero_si128();
+        for (k, wv) in weights.iter().enumerate() {
+            let v = _mm_loadl_epi64(&src[x - r + k..]);
+            let wide = _mm_unpacklo_epi8(v, zero);
+            acc = _mm_add_epi16(acc, _mm_mullo_epi16(wide, *wv));
+        }
+        _mm_storeu_si128(&mut dst[x..], acc);
+        x += 8;
+    }
+    horizontal_row_scalar_range(src, dst, kernel, x, width);
+}
+
+/// Hand-written NEON horizontal pass (simulated surface): per tap,
+/// `vmlal.u8` widening multiply-accumulate.
+pub fn horizontal_row_neon_sim(src: &[u8], dst: &mut [u16], kernel: &FixedKernel) {
+    use neon_sim::*;
+    assert_eq!(src.len(), dst.len());
+    let width = src.len();
+    let r = kernel.radius;
+    if width < 2 * r + 8 || !kernel.fits_u8() {
+        horizontal_row_scalar(src, dst, kernel);
+        return;
+    }
+    horizontal_row_scalar_range(src, dst, kernel, 0, r);
+    let weights: Vec<uint8x8_t> = kernel
+        .weights
+        .iter()
+        .map(|&w| vdup_n_u8(w as u8))
+        .collect();
+    let mut x = r;
+    while x + 8 <= width - r {
+        let mut acc = vmull_u8(vld1_u8(&src[x - r..]), weights[0]);
+        for (k, wv) in weights.iter().enumerate().skip(1) {
+            acc = vmlal_u8(acc, vld1_u8(&src[x - r + k..]), *wv);
+        }
+        vst1q_u16(&mut dst[x..], acc);
+        x += 8;
+    }
+    horizontal_row_scalar_range(src, dst, kernel, x, width);
+}
+
+/// Horizontal pass on the host's real SIMD unit.
+pub fn horizontal_row_native(src: &[u8], dst: &mut [u16], kernel: &FixedKernel) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        horizontal_row_native_sse2(src, dst, kernel);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        horizontal_row_autovec(src, dst, kernel);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn horizontal_row_native_sse2(src: &[u8], dst: &mut [u16], kernel: &FixedKernel) {
+    use std::arch::x86_64::*;
+    assert_eq!(src.len(), dst.len());
+    let width = src.len();
+    let r = kernel.radius;
+    if width < 2 * r + 8 || !kernel.fits_u8() {
+        horizontal_row_scalar(src, dst, kernel);
+        return;
+    }
+    horizontal_row_scalar_range(src, dst, kernel, 0, r);
+    let mut x = r;
+    // SAFETY: per tap the 64-bit load reads src[x-r+k .. x-r+k+8]; with
+    // x + 8 <= width - r and k <= 2r this stays within src. The store
+    // writes dst[x..x+8] <= width. SSE2 is baseline on x86_64.
+    unsafe {
+        let zero = _mm_setzero_si128();
+        let weights: Vec<__m128i> = kernel
+            .weights
+            .iter()
+            .map(|&w| _mm_set1_epi16(w as i16))
+            .collect();
+        while x + 8 <= width - r {
+            let mut acc = _mm_setzero_si128();
+            for (k, wv) in weights.iter().enumerate() {
+                let v = _mm_loadl_epi64(src.as_ptr().add(x - r + k) as *const __m128i);
+                let wide = _mm_unpacklo_epi8(v, zero);
+                acc = _mm_add_epi16(acc, _mm_mullo_epi16(wide, *wv));
+            }
+            _mm_storeu_si128(dst.as_mut_ptr().add(x) as *mut __m128i, acc);
+            x += 8;
+        }
+    }
+    horizontal_row_scalar_range(src, dst, kernel, x, width);
+}
+
+// ---------------------------------------------------------------------------
+// Vertical pass
+// ---------------------------------------------------------------------------
+
+/// Runs the vertical pass over the whole intermediate image.
+pub fn vertical_pass(mid: &Image<u16>, dst: &mut Image<u8>, kernel: &FixedKernel, engine: Engine) {
+    let height = mid.height();
+    let r = kernel.radius;
+    // Borrow the tap rows for each output row, clamping at the edges.
+    let mut taps: Vec<&[u16]> = Vec::with_capacity(kernel.len());
+    for y in 0..height {
+        taps.clear();
+        for k in 0..kernel.len() {
+            let yy = clamp_idx(y as isize + k as isize - r as isize, height);
+            taps.push(mid.row(yy));
+        }
+        vertical_row(&taps, dst.row_mut(y), kernel, engine);
+    }
+}
+
+/// Vertical pass for one output row given its `ksize` tap rows.
+pub fn vertical_row(taps: &[&[u16]], dst: &mut [u8], kernel: &FixedKernel, engine: Engine) {
+    match engine {
+        Engine::Scalar => vertical_row_scalar(taps, dst, kernel),
+        Engine::Autovec => vertical_row_autovec(taps, dst, kernel),
+        Engine::Sse2Sim => vertical_row_sse2_sim(taps, dst, kernel),
+        Engine::NeonSim => vertical_row_neon_sim(taps, dst, kernel),
+        Engine::Native => vertical_row_native(taps, dst, kernel),
+    }
+}
+
+const ROUND: u32 = 1 << 15;
+
+/// Reference vertical pass.
+pub fn vertical_row_scalar(taps: &[&[u16]], dst: &mut [u8], kernel: &FixedKernel) {
+    assert_eq!(taps.len(), kernel.len());
+    for x in 0..dst.len() {
+        let mut acc = ROUND;
+        for (row, &w) in taps.iter().zip(kernel.weights.iter()) {
+            acc += row[x] as u32 * w as u32;
+        }
+        dst[x] = (acc >> 16) as u8;
+    }
+}
+
+/// Iterator-shaped vertical pass for the auto-vectorizer.
+pub fn vertical_row_autovec(taps: &[&[u16]], dst: &mut [u8], kernel: &FixedKernel) {
+    assert_eq!(taps.len(), kernel.len());
+    let width = dst.len();
+    // Accumulate per-tap into a u32 scratch row; LLVM vectorises each
+    // inner loop independently.
+    let mut acc = vec![ROUND; width];
+    for (row, &w) in taps.iter().zip(kernel.weights.iter()) {
+        let w = w as u32;
+        for (a, &v) in acc.iter_mut().zip(row[..width].iter()) {
+            *a += v as u32 * w;
+        }
+    }
+    for (d, &a) in dst.iter_mut().zip(acc.iter()) {
+        *d = (a >> 16) as u8;
+    }
+}
+
+/// Hand-written SSE2 vertical pass: `pmullw`/`pmulhuw` split products,
+/// 32-bit accumulation, rounding shift, double pack.
+pub fn vertical_row_sse2_sim(taps: &[&[u16]], dst: &mut [u8], kernel: &FixedKernel) {
+    use sse_sim::*;
+    assert_eq!(taps.len(), kernel.len());
+    let width = dst.len();
+    let round = _mm_set1_epi32(ROUND as i32);
+    let weights: Vec<__m128i> = kernel
+        .weights
+        .iter()
+        .map(|&w| _mm_set1_epi16(w as i16))
+        .collect();
+    let mut x = 0;
+    while x + 8 <= width {
+        let mut acc_lo = round;
+        let mut acc_hi = round;
+        for (row, wv) in taps.iter().zip(weights.iter()) {
+            let v = _mm_loadu_si128(&row[x..]);
+            let lo16 = _mm_mullo_epi16(v, *wv);
+            let hi16 = _mm_mulhi_epu16(v, *wv);
+            acc_lo = _mm_add_epi32(acc_lo, _mm_unpacklo_epi16(lo16, hi16));
+            acc_hi = _mm_add_epi32(acc_hi, _mm_unpackhi_epi16(lo16, hi16));
+        }
+        let r_lo = _mm_srli_epi32::<16>(acc_lo);
+        let r_hi = _mm_srli_epi32::<16>(acc_hi);
+        let packed16 = _mm_packs_epi32(r_lo, r_hi);
+        let packed8 = _mm_packus_epi16(packed16, packed16);
+        _mm_storel_epi64(&mut dst[x..], packed8);
+        x += 8;
+    }
+    vertical_row_scalar_range(taps, dst, kernel, x, width);
+}
+
+/// Hand-written NEON vertical pass: `vmlal.u16` into `u32`, rounding shift,
+/// narrow twice.
+pub fn vertical_row_neon_sim(taps: &[&[u16]], dst: &mut [u8], kernel: &FixedKernel) {
+    use neon_sim::*;
+    assert_eq!(taps.len(), kernel.len());
+    let width = dst.len();
+    let round = vdupq_n_u32(ROUND);
+    let weights: Vec<uint16x4_t> = kernel
+        .weights
+        .iter()
+        .map(|&w| uint16x4_t::splat(w as u16))
+        .collect();
+    let mut x = 0;
+    while x + 8 <= width {
+        let mut acc_lo = round;
+        let mut acc_hi = round;
+        for (row, wv) in taps.iter().zip(weights.iter()) {
+            let v = vld1q_u16(&row[x..]);
+            acc_lo = vmlal_u16(acc_lo, vget_low_u16(v), *wv);
+            acc_hi = vmlal_u16(acc_hi, vget_high_u16(v), *wv);
+        }
+        let n_lo = vmovn_u32(vshrq_n_u32(acc_lo, 16));
+        let n_hi = vmovn_u32(vshrq_n_u32(acc_hi, 16));
+        let packed = vqmovn_u16(vcombine_u16(n_lo, n_hi));
+        vst1_u8(&mut dst[x..], packed);
+        x += 8;
+    }
+    vertical_row_scalar_range(taps, dst, kernel, x, width);
+}
+
+fn vertical_row_scalar_range(
+    taps: &[&[u16]],
+    dst: &mut [u8],
+    kernel: &FixedKernel,
+    from: usize,
+    to: usize,
+) {
+    for x in from..to {
+        let mut acc = ROUND;
+        for (row, &w) in taps.iter().zip(kernel.weights.iter()) {
+            acc += row[x] as u32 * w as u32;
+        }
+        dst[x] = (acc >> 16) as u8;
+    }
+}
+
+/// Vertical pass on the host's real SIMD unit.
+pub fn vertical_row_native(taps: &[&[u16]], dst: &mut [u8], kernel: &FixedKernel) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        vertical_row_native_sse2(taps, dst, kernel);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        vertical_row_autovec(taps, dst, kernel);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn vertical_row_native_sse2(taps: &[&[u16]], dst: &mut [u8], kernel: &FixedKernel) {
+    use std::arch::x86_64::*;
+    assert_eq!(taps.len(), kernel.len());
+    let width = dst.len();
+    let mut x = 0;
+    // SAFETY: loads read row[x..x+8] of each tap row (length >= width);
+    // the 64-bit store writes dst[x..x+8]; x + 8 <= width throughout.
+    unsafe {
+        let round = _mm_set1_epi32(ROUND as i32);
+        let weights: Vec<__m128i> = kernel
+            .weights
+            .iter()
+            .map(|&w| _mm_set1_epi16(w as i16))
+            .collect();
+        while x + 8 <= width {
+            let mut acc_lo = round;
+            let mut acc_hi = round;
+            for (row, wv) in taps.iter().zip(weights.iter()) {
+                debug_assert!(row.len() >= width);
+                let v = _mm_loadu_si128(row.as_ptr().add(x) as *const __m128i);
+                let lo16 = _mm_mullo_epi16(v, *wv);
+                let hi16 = _mm_mulhi_epu16(v, *wv);
+                acc_lo = _mm_add_epi32(acc_lo, _mm_unpacklo_epi16(lo16, hi16));
+                acc_hi = _mm_add_epi32(acc_hi, _mm_unpackhi_epi16(lo16, hi16));
+            }
+            let r_lo = _mm_srli_epi32::<16>(acc_lo);
+            let r_hi = _mm_srli_epi32::<16>(acc_hi);
+            let packed16 = _mm_packs_epi32(r_lo, r_hi);
+            let packed8 = _mm_packus_epi16(packed16, packed16);
+            _mm_storel_epi64(dst.as_mut_ptr().add(x) as *mut __m128i, packed8);
+            x += 8;
+        }
+    }
+    vertical_row_scalar_range(taps, dst, kernel, x, width);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixelimage::synthetic_image;
+
+    #[test]
+    fn constant_image_is_fixed_point() {
+        // A normalised kernel must preserve constant images exactly.
+        let src = Image::from_fn(40, 20, |_, _| 177u8);
+        for engine in Engine::ALL {
+            let mut dst = Image::new(40, 20);
+            gaussian_blur(&src, &mut dst, engine);
+            assert!(
+                dst.all_pixels(|p| p == 177),
+                "engine {engine:?} broke constant image"
+            );
+        }
+    }
+
+    #[test]
+    fn all_engines_match_scalar() {
+        let src = synthetic_image(83, 37, 21);
+        let mut reference = Image::new(83, 37);
+        gaussian_blur(&src, &mut reference, Engine::Scalar);
+        for engine in [Engine::Autovec, Engine::Sse2Sim, Engine::NeonSim, Engine::Native] {
+            let mut out = Image::new(83, 37);
+            gaussian_blur(&src, &mut out, engine);
+            assert!(out.pixels_eq(&reference), "engine {engine:?} diverged");
+        }
+    }
+
+    #[test]
+    fn blur_reduces_gradient_energy() {
+        let src = synthetic_image(64, 64, 5);
+        let mut dst = Image::new(64, 64);
+        gaussian_blur(&src, &mut dst, Engine::Native);
+        let energy = |img: &Image<u8>| -> u64 {
+            let mut e = 0u64;
+            for y in 0..img.height() {
+                let row = img.row(y);
+                for x in 1..img.width() {
+                    e += (row[x] as i64 - row[x - 1] as i64).unsigned_abs();
+                }
+            }
+            e
+        };
+        assert!(
+            energy(&dst) < energy(&src) / 2,
+            "blur did not smooth: {} vs {}",
+            energy(&dst),
+            energy(&src)
+        );
+    }
+
+    #[test]
+    fn impulse_response_is_separable_kernel() {
+        // Blurring a centred impulse recovers the outer product of the 1-D
+        // kernel with itself (up to fixed-point rounding).
+        let mut src = Image::<u8>::new(15, 15);
+        src.set(7, 7, 255);
+        let mut dst = Image::new(15, 15);
+        gaussian_blur(&src, &mut dst, Engine::Native);
+        let k = paper_gaussian_kernel();
+        // Centre value: 255 * w[3]^2 / 2^16, rounded.
+        let expect = ((255u32 * (k.weights[3] * k.weights[3]) as u32 + ROUND) >> 16) as u8;
+        assert_eq!(dst.get(7, 7), expect);
+        // Symmetry of the response.
+        for d in 1..=3usize {
+            assert_eq!(dst.get(7 - d, 7), dst.get(7 + d, 7));
+            assert_eq!(dst.get(7, 7 - d), dst.get(7, 7 + d));
+            assert_eq!(dst.get(7 - d, 7 - d), dst.get(7 + d, 7 + d));
+        }
+        // Energy decays away from the centre.
+        assert!(dst.get(7, 7) > dst.get(6, 7));
+        assert!(dst.get(6, 7) > dst.get(5, 7));
+    }
+
+    #[test]
+    fn narrow_images_use_scalar_fallback() {
+        // Narrower than the kernel: every engine must still agree.
+        for width in 1..16 {
+            let src = Image::from_fn(width, 9, |x, y| (x * 31 + y * 7) as u8);
+            let mut reference = Image::new(width, 9);
+            gaussian_blur(&src, &mut reference, Engine::Scalar);
+            for engine in [Engine::Autovec, Engine::Sse2Sim, Engine::NeonSim, Engine::Native] {
+                let mut out = Image::new(width, 9);
+                gaussian_blur(&src, &mut out, engine);
+                assert!(out.pixels_eq(&reference), "{engine:?} width {width}");
+            }
+        }
+    }
+
+    #[test]
+    fn different_sigmas_agree_across_engines() {
+        let src = synthetic_image(50, 30, 8);
+        for (sigma, ksize) in [(0.8, 5), (1.5, 9), (2.0, 13)] {
+            let mut reference = Image::new(50, 30);
+            gaussian_blur_with(&src, &mut reference, sigma, ksize, Engine::Scalar);
+            for engine in [Engine::Sse2Sim, Engine::NeonSim, Engine::Native] {
+                let mut out = Image::new(50, 30);
+                gaussian_blur_with(&src, &mut out, sigma, ksize, engine);
+                assert!(out.pixels_eq(&reference), "{engine:?} sigma {sigma}");
+            }
+        }
+    }
+}

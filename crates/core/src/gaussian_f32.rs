@@ -1,0 +1,350 @@
+//! Extension — float-path separable Gaussian (experiment A7).
+//!
+//! The paper's benchmark 1 exists because real pipelines convert 8-bit
+//! pixels to float, filter in float, and convert back. This module supplies
+//! that middle stage: a separable Gaussian over `f32` images, exercising
+//! the float SIMD families (`mulps`/`addps`, `vmlaq_f32`) the fixed-point
+//! kernels never touch.
+//!
+//! Float accumulation order matters for bit-exactness: all backends
+//! accumulate taps in ascending index order with unfused multiply-add
+//! (matching `vmla` on VFPv3/NEON and `mulps`+`addps` on SSE2), so scalar,
+//! simulated and native results are identical bit patterns.
+
+use crate::dispatch::Engine;
+use crate::kernelgen::gaussian_kernel_f64;
+use pixelimage::Image;
+
+/// Blurs an `f32` image with a sampled Gaussian (`ksize` odd, σ > 0).
+pub fn gaussian_blur_f32(
+    src: &Image<f32>,
+    dst: &mut Image<f32>,
+    sigma: f64,
+    ksize: usize,
+    engine: Engine,
+) {
+    assert_eq!(src.width(), dst.width(), "width mismatch");
+    assert_eq!(src.height(), dst.height(), "height mismatch");
+    let weights: Vec<f32> = gaussian_kernel_f64(sigma, ksize)
+        .into_iter()
+        .map(|w| w as f32)
+        .collect();
+    let radius = ksize / 2;
+    let mut mid = Image::<f32>::new(src.width(), src.height());
+    for y in 0..src.height() {
+        horizontal_row_f32(src.row(y), mid.row_mut(y), &weights, radius, engine);
+    }
+    let height = src.height();
+    let clamp = |y: isize| y.clamp(0, height as isize - 1) as usize;
+    let mut taps: Vec<&[f32]> = Vec::with_capacity(ksize);
+    for y in 0..height {
+        taps.clear();
+        for k in 0..ksize {
+            taps.push(mid.row(clamp(y as isize + k as isize - radius as isize)));
+        }
+        vertical_row_f32(&taps, dst.row_mut(y), &weights, engine);
+    }
+}
+
+/// Horizontal float pass (border replicate).
+pub fn horizontal_row_f32(
+    src: &[f32],
+    dst: &mut [f32],
+    weights: &[f32],
+    radius: usize,
+    engine: Engine,
+) {
+    match engine {
+        Engine::Scalar | Engine::Autovec => {
+            horizontal_row_f32_scalar(src, dst, weights, radius)
+        }
+        Engine::Sse2Sim => horizontal_row_f32_sse2_sim(src, dst, weights, radius),
+        Engine::NeonSim => horizontal_row_f32_neon_sim(src, dst, weights, radius),
+        Engine::Native => horizontal_row_f32_native(src, dst, weights, radius),
+    }
+}
+
+fn horizontal_row_f32_scalar(src: &[f32], dst: &mut [f32], weights: &[f32], radius: usize) {
+    assert_eq!(src.len(), dst.len());
+    let n = src.len();
+    for x in 0..n {
+        let mut acc = 0.0f32;
+        for (k, &w) in weights.iter().enumerate() {
+            let idx = (x as isize + k as isize - radius as isize)
+                .clamp(0, n as isize - 1) as usize;
+            acc += src[idx] * w;
+        }
+        dst[x] = acc;
+    }
+}
+
+fn horizontal_row_f32_range(
+    src: &[f32],
+    dst: &mut [f32],
+    weights: &[f32],
+    radius: usize,
+    from: usize,
+    to: usize,
+) {
+    let n = src.len();
+    for x in from..to {
+        let mut acc = 0.0f32;
+        for (k, &w) in weights.iter().enumerate() {
+            let idx = (x as isize + k as isize - radius as isize)
+                .clamp(0, n as isize - 1) as usize;
+            acc += src[idx] * w;
+        }
+        dst[x] = acc;
+    }
+}
+
+fn horizontal_row_f32_sse2_sim(src: &[f32], dst: &mut [f32], weights: &[f32], radius: usize) {
+    use sse_sim::*;
+    assert_eq!(src.len(), dst.len());
+    let n = src.len();
+    if n < 2 * radius + 4 {
+        horizontal_row_f32_scalar(src, dst, weights, radius);
+        return;
+    }
+    horizontal_row_f32_range(src, dst, weights, radius, 0, radius);
+    let wv: Vec<__m128> = weights.iter().map(|&w| _mm_set1_ps(w)).collect();
+    let mut x = radius;
+    while x + 4 <= n - radius {
+        let mut acc = _mm_setzero_ps();
+        for (k, w) in wv.iter().enumerate() {
+            let v = _mm_loadu_ps(&src[x - radius + k..]);
+            acc = _mm_add_ps(acc, _mm_mul_ps(v, *w));
+        }
+        _mm_storeu_ps(&mut dst[x..], acc);
+        x += 4;
+    }
+    horizontal_row_f32_range(src, dst, weights, radius, x, n);
+}
+
+fn horizontal_row_f32_neon_sim(src: &[f32], dst: &mut [f32], weights: &[f32], radius: usize) {
+    use neon_sim::*;
+    assert_eq!(src.len(), dst.len());
+    let n = src.len();
+    if n < 2 * radius + 4 {
+        horizontal_row_f32_scalar(src, dst, weights, radius);
+        return;
+    }
+    horizontal_row_f32_range(src, dst, weights, radius, 0, radius);
+    let mut x = radius;
+    while x + 4 <= n - radius {
+        let mut acc = vdupq_n_f32(0.0);
+        for (k, &w) in weights.iter().enumerate() {
+            let v = vld1q_f32(&src[x - radius + k..]);
+            acc = vmlaq_n_f32(acc, v, w);
+        }
+        vst1q_f32(&mut dst[x..], acc);
+        x += 4;
+    }
+    horizontal_row_f32_range(src, dst, weights, radius, x, n);
+}
+
+fn horizontal_row_f32_native(src: &[f32], dst: &mut [f32], weights: &[f32], radius: usize) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::arch::x86_64::*;
+        assert_eq!(src.len(), dst.len());
+        let n = src.len();
+        if n < 2 * radius + 4 {
+            horizontal_row_f32_scalar(src, dst, weights, radius);
+            return;
+        }
+        horizontal_row_f32_range(src, dst, weights, radius, 0, radius);
+        let mut x = radius;
+        // SAFETY: per tap the load reads src[x-radius+k .. +4]; with
+        // x + 4 <= n - radius and k <= 2*radius this stays in bounds; the
+        // store writes dst[x..x+4] <= n.
+        unsafe {
+            let wv: Vec<__m128> = weights.iter().map(|&w| _mm_set1_ps(w)).collect();
+            while x + 4 <= n - radius {
+                let mut acc = _mm_setzero_ps();
+                for (k, w) in wv.iter().enumerate() {
+                    let v = _mm_loadu_ps(src.as_ptr().add(x - radius + k));
+                    acc = _mm_add_ps(acc, _mm_mul_ps(v, *w));
+                }
+                _mm_storeu_ps(dst.as_mut_ptr().add(x), acc);
+                x += 4;
+            }
+        }
+        horizontal_row_f32_range(src, dst, weights, radius, x, n);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        horizontal_row_f32_scalar(src, dst, weights, radius);
+    }
+}
+
+/// Vertical float pass over the tap rows.
+pub fn vertical_row_f32(taps: &[&[f32]], dst: &mut [f32], weights: &[f32], engine: Engine) {
+    match engine {
+        Engine::Scalar | Engine::Autovec => vertical_row_f32_scalar(taps, dst, weights),
+        Engine::Sse2Sim => {
+            use sse_sim::*;
+            let n = dst.len();
+            let wv: Vec<__m128> = weights.iter().map(|&w| _mm_set1_ps(w)).collect();
+            let mut x = 0;
+            while x + 4 <= n {
+                let mut acc = _mm_setzero_ps();
+                for (row, w) in taps.iter().zip(wv.iter()) {
+                    acc = _mm_add_ps(acc, _mm_mul_ps(_mm_loadu_ps(&row[x..]), *w));
+                }
+                _mm_storeu_ps(&mut dst[x..], acc);
+                x += 4;
+            }
+            vertical_row_f32_scalar_range(taps, dst, weights, x, n);
+        }
+        Engine::NeonSim => {
+            use neon_sim::*;
+            let n = dst.len();
+            let mut x = 0;
+            while x + 4 <= n {
+                let mut acc = vdupq_n_f32(0.0);
+                for (row, &w) in taps.iter().zip(weights.iter()) {
+                    acc = vmlaq_n_f32(acc, vld1q_f32(&row[x..]), w);
+                }
+                vst1q_f32(&mut dst[x..], acc);
+                x += 4;
+            }
+            vertical_row_f32_scalar_range(taps, dst, weights, x, n);
+        }
+        Engine::Native => vertical_row_f32_native(taps, dst, weights),
+    }
+}
+
+fn vertical_row_f32_scalar(taps: &[&[f32]], dst: &mut [f32], weights: &[f32]) {
+    vertical_row_f32_scalar_range(taps, dst, weights, 0, dst.len());
+}
+
+fn vertical_row_f32_scalar_range(
+    taps: &[&[f32]],
+    dst: &mut [f32],
+    weights: &[f32],
+    from: usize,
+    to: usize,
+) {
+    for x in from..to {
+        let mut acc = 0.0f32;
+        for (row, &w) in taps.iter().zip(weights.iter()) {
+            acc += row[x] * w;
+        }
+        dst[x] = acc;
+    }
+}
+
+fn vertical_row_f32_native(taps: &[&[f32]], dst: &mut [f32], weights: &[f32]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::arch::x86_64::*;
+        let n = dst.len();
+        for row in taps {
+            assert!(row.len() >= n);
+        }
+        let mut x = 0;
+        // SAFETY: loads read row[x..x+4] (rows >= n, asserted); stores
+        // write dst[x..x+4]; x + 4 <= n throughout.
+        unsafe {
+            let wv: Vec<__m128> = weights.iter().map(|&w| _mm_set1_ps(w)).collect();
+            while x + 4 <= n {
+                let mut acc = _mm_setzero_ps();
+                for (row, w) in taps.iter().zip(wv.iter()) {
+                    acc = _mm_add_ps(acc, _mm_mul_ps(_mm_loadu_ps(row.as_ptr().add(x)), *w));
+                }
+                _mm_storeu_ps(dst.as_mut_ptr().add(x), acc);
+                x += 4;
+            }
+        }
+        vertical_row_f32_scalar_range(taps, dst, weights, x, n);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        vertical_row_f32_scalar(taps, dst, weights);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixelimage::synthetic_image_f32;
+
+    #[test]
+    fn all_engines_bit_exact() {
+        let src = synthetic_image_f32(77, 29, 19);
+        let mut reference = Image::new(77, 29);
+        gaussian_blur_f32(&src, &mut reference, 1.0, 7, Engine::Scalar);
+        for engine in [Engine::Autovec, Engine::Sse2Sim, Engine::NeonSim, Engine::Native] {
+            let mut out = Image::new(77, 29);
+            gaussian_blur_f32(&src, &mut out, 1.0, 7, engine);
+            for y in 0..29 {
+                for (a, b) in out.row(y).iter().zip(reference.row(y).iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{engine:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_image_nearly_preserved() {
+        // Float weights sum to 1 within rounding; constants survive to ulps.
+        let src = Image::<f32>::from_fn(32, 16, |_, _| 100.0);
+        let mut dst = Image::new(32, 16);
+        gaussian_blur_f32(&src, &mut dst, 1.0, 7, Engine::Native);
+        assert!(dst
+            .iter_pixels()
+            .all(|v| (v - 100.0).abs() < 1e-3), "constant drifted");
+    }
+
+    #[test]
+    fn matches_fixed_point_path_within_quantisation() {
+        // The f32 blur and the Q8 fixed-point blur agree to within the Q8
+        // quantisation error on 8-bit data.
+        let gray = pixelimage::synthetic_image(60, 40, 23);
+        let srcf = pixelimage::convert::u8_to_f32(&gray, 1.0, 0.0);
+        let mut blurf = Image::new(60, 40);
+        gaussian_blur_f32(&srcf, &mut blurf, 1.0, 7, Engine::Native);
+        let mut blur8 = Image::new(60, 40);
+        crate::gaussian::gaussian_blur(&gray, &mut blur8, Engine::Native);
+        for y in 0..40 {
+            for x in 0..60 {
+                let diff = (blurf.get(x, y) - blur8.get(x, y) as f32).abs();
+                assert!(diff <= 1.5, "({x},{y}): f32 {} vs q8 {}", blurf.get(x, y), blur8.get(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_images_fall_back() {
+        for w in 1..12 {
+            let src = synthetic_image_f32(w, 5, 7);
+            let mut reference = Image::new(w, 5);
+            gaussian_blur_f32(&src, &mut reference, 1.0, 7, Engine::Scalar);
+            for engine in [Engine::Sse2Sim, Engine::NeonSim, Engine::Native] {
+                let mut out = Image::new(w, 5);
+                gaussian_blur_f32(&src, &mut out, 1.0, 7, engine);
+                for y in 0..5 {
+                    for (a, b) in out.row(y).iter().zip(reference.row(y).iter()) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "{engine:?} w={w}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wider_sigma_smooths_more() {
+        let src = synthetic_image_f32(64, 48, 31);
+        let variance = |img: &Image<f32>| {
+            let mean = img.iter_pixels().sum::<f32>() / img.pixels() as f32;
+            img.iter_pixels().map(|v| (v - mean) * (v - mean)).sum::<f32>() / img.pixels() as f32
+        };
+        let mut narrow = Image::new(64, 48);
+        let mut wide = Image::new(64, 48);
+        gaussian_blur_f32(&src, &mut narrow, 0.8, 5, Engine::Native);
+        gaussian_blur_f32(&src, &mut wide, 2.5, 15, Engine::Native);
+        assert!(variance(&wide) < variance(&narrow));
+        assert!(variance(&narrow) < variance(&src));
+    }
+}

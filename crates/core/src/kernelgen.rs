@@ -1,0 +1,138 @@
+//! Separable filter kernel generation (the `cv::getGaussianKernel`
+//! equivalent), in Q8 fixed point for the 8-bit image paths.
+
+/// A symmetric 1-D fixed-point filter kernel.
+///
+/// `weights` has `2*radius + 1` entries in Q8 (so a normalised kernel sums
+/// to exactly 256); applying it twice (rows then columns) gives a total
+/// scale of 2^16, removed by the filter epilogue's rounding shift.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixedKernel {
+    /// Q8 weights, length `2*radius + 1`, each in `0..=256`.
+    pub weights: Vec<i32>,
+    /// Taps on each side of the centre.
+    pub radius: usize,
+}
+
+impl FixedKernel {
+    /// Number of taps.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True for an empty kernel (never produced by the constructors).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Sum of the weights (256 for normalised kernels).
+    pub fn sum(&self) -> i32 {
+        self.weights.iter().sum()
+    }
+
+    /// True when every weight fits in a `u8` — the precondition for the
+    /// byte-widening SIMD multiply-accumulate paths.
+    pub fn fits_u8(&self) -> bool {
+        self.weights.iter().all(|&w| (0..=255).contains(&w))
+    }
+}
+
+/// Builds a sampled, normalised Gaussian in Q8 fixed point.
+///
+/// `ksize` must be odd. Weights are rounded to Q8 and the residual
+/// (from rounding) is folded into the centre tap so the sum is exactly 256 —
+/// guaranteeing that blurring a constant image is the identity.
+pub fn gaussian_kernel_q8(sigma: f64, ksize: usize) -> FixedKernel {
+    let float = gaussian_kernel_f64(sigma, ksize);
+    let radius = ksize / 2;
+    let mut weights: Vec<i32> = float.iter().map(|w| (w * 256.0).round() as i32).collect();
+    let correction = 256 - weights.iter().sum::<i32>();
+    weights[radius] += correction;
+    assert!(
+        weights[radius] > 0,
+        "kernel too flat for Q8 quantisation (sigma {sigma}, ksize {ksize})"
+    );
+    FixedKernel { weights, radius }
+}
+
+/// Sampled, normalised Gaussian as `f64` (the float-path kernel).
+pub fn gaussian_kernel_f64(sigma: f64, ksize: usize) -> Vec<f64> {
+    assert!(ksize % 2 == 1, "kernel size must be odd, got {ksize}");
+    assert!(sigma > 0.0, "sigma must be positive");
+    let radius = (ksize / 2) as isize;
+    let inv2s2 = 1.0 / (2.0 * sigma * sigma);
+    let raw: Vec<f64> = (-radius..=radius)
+        .map(|x| (-((x * x) as f64) * inv2s2).exp())
+        .collect();
+    let sum: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| w / sum).collect()
+}
+
+/// The paper's Gaussian configuration: σ = 1. OpenCV derives the aperture
+/// from sigma as `2*ceil(3σ)+1 = 7` for 8-bit images.
+pub fn paper_gaussian_kernel() -> FixedKernel {
+    gaussian_kernel_q8(1.0, 7)
+}
+
+/// The Sobel smoothing kernel `[1, 2, 1]` (already integer; not Q8).
+pub const SOBEL_SMOOTH: [i16; 3] = [1, 2, 1];
+
+/// The Sobel derivative kernel `[-1, 0, 1]`.
+pub const SOBEL_DIFF: [i16; 3] = [-1, 0, 1];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_kernel_is_normalised_and_symmetric() {
+        for (sigma, ksize) in [(1.0, 7), (0.5, 3), (2.0, 13), (1.0, 5)] {
+            let k = gaussian_kernel_f64(sigma, ksize);
+            assert_eq!(k.len(), ksize);
+            let sum: f64 = k.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "sum {sum}");
+            for i in 0..ksize / 2 {
+                assert!((k[i] - k[ksize - 1 - i]).abs() < 1e-15);
+            }
+            // Centre is the max.
+            let centre = k[ksize / 2];
+            assert!(k.iter().all(|&w| w <= centre));
+        }
+    }
+
+    #[test]
+    fn q8_kernel_sums_to_256_exactly() {
+        for (sigma, ksize) in [(1.0, 7), (0.8, 5), (1.5, 9), (2.0, 13)] {
+            let k = gaussian_kernel_q8(sigma, ksize);
+            assert_eq!(k.sum(), 256, "sigma {sigma} ksize {ksize}");
+            assert_eq!(k.len(), ksize);
+            assert_eq!(k.radius, ksize / 2);
+        }
+    }
+
+    #[test]
+    fn paper_kernel_shape() {
+        let k = paper_gaussian_kernel();
+        assert_eq!(k.len(), 7);
+        assert_eq!(k.sum(), 256);
+        assert!(k.fits_u8());
+        // σ=1 7-tap Gaussian in Q8: symmetric, strongly peaked.
+        assert_eq!(k.weights[0], k.weights[6]);
+        assert_eq!(k.weights[1], k.weights[5]);
+        assert_eq!(k.weights[2], k.weights[4]);
+        assert!(k.weights[3] > 90 && k.weights[3] < 115, "centre {}", k.weights[3]);
+        assert!(k.weights[0] >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_ksize_rejected() {
+        let _ = gaussian_kernel_f64(1.0, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_sigma_rejected() {
+        let _ = gaussian_kernel_f64(0.0, 7);
+    }
+}

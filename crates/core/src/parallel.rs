@@ -1,0 +1,212 @@
+//! Multi-core row-parallel kernel variants (experiment A3).
+//!
+//! The paper compiles OpenCV "for single thread execution" and leaves
+//! multi-core to future work; these wrappers provide that extension. Each
+//! splits the image into horizontal bands processed by rayon's work-stealing
+//! pool, running the chosen [`Engine`] inside each band — SIMD and
+//! multi-threading compose.
+
+use crate::convert::convert_row;
+use crate::dispatch::Engine;
+use crate::edge::magnitude_row;
+use crate::gaussian::{horizontal_row, vertical_row};
+use crate::kernelgen::{paper_gaussian_kernel, FixedKernel};
+use crate::sobel::{h_diff_row, h_smooth_row, v_diff_row, v_smooth_row, SobelDirection};
+use crate::threshold::{threshold_row, ThresholdType};
+use pixelimage::Image;
+use rayon::prelude::*;
+
+/// Splits an image's backing buffer into per-row mutable slices
+/// (`width` elements each, padding skipped).
+fn rows_mut<T: simd_vector::align::Pod + Send>(img: &mut Image<T>) -> Vec<&mut [T]> {
+    let stride = img.stride();
+    let width = img.width();
+    let height = img.height();
+    img.as_mut_slice()
+        .chunks_mut(stride)
+        .take(height)
+        .map(|chunk| &mut chunk[..width])
+        .collect()
+}
+
+/// Row-parallel float→short conversion.
+pub fn par_convert_f32_to_i16(src: &Image<f32>, dst: &mut Image<i16>, engine: Engine) {
+    assert_eq!(src.width(), dst.width(), "width mismatch");
+    assert_eq!(src.height(), dst.height(), "height mismatch");
+    rows_mut(dst)
+        .into_par_iter()
+        .enumerate()
+        .for_each(|(y, drow)| convert_row(src.row(y), drow, engine));
+}
+
+/// Row-parallel threshold.
+pub fn par_threshold_u8(
+    src: &Image<u8>,
+    dst: &mut Image<u8>,
+    thresh: u8,
+    maxval: u8,
+    ty: ThresholdType,
+    engine: Engine,
+) {
+    assert_eq!(src.width(), dst.width(), "width mismatch");
+    assert_eq!(src.height(), dst.height(), "height mismatch");
+    rows_mut(dst)
+        .into_par_iter()
+        .enumerate()
+        .for_each(|(y, drow)| threshold_row(src.row(y), drow, thresh, maxval, ty, engine));
+}
+
+/// Row-parallel Gaussian blur (σ=1, 7 taps — the paper configuration).
+pub fn par_gaussian_blur(src: &Image<u8>, dst: &mut Image<u8>, engine: Engine) {
+    par_gaussian_blur_kernel(src, dst, &paper_gaussian_kernel(), engine);
+}
+
+/// Row-parallel Gaussian blur with an explicit kernel. Both passes are
+/// parallelised; the vertical pass reads the shared intermediate image.
+pub fn par_gaussian_blur_kernel(
+    src: &Image<u8>,
+    dst: &mut Image<u8>,
+    kernel: &FixedKernel,
+    engine: Engine,
+) {
+    assert_eq!(src.width(), dst.width(), "width mismatch");
+    assert_eq!(src.height(), dst.height(), "height mismatch");
+    let height = src.height();
+    let r = kernel.radius;
+    let mut mid = Image::<u16>::new(src.width(), src.height());
+    rows_mut(&mut mid)
+        .into_par_iter()
+        .enumerate()
+        .for_each(|(y, mrow)| horizontal_row(src.row(y), mrow, kernel, engine));
+    let clamp = |y: isize| y.clamp(0, height as isize - 1) as usize;
+    rows_mut(dst)
+        .into_par_iter()
+        .enumerate()
+        .for_each(|(y, drow)| {
+            let taps: Vec<&[u16]> = (0..kernel.len())
+                .map(|k| mid.row(clamp(y as isize + k as isize - r as isize)))
+                .collect();
+            vertical_row(&taps, drow, kernel, engine);
+        });
+}
+
+/// Row-parallel Sobel gradient.
+pub fn par_sobel(src: &Image<u8>, dst: &mut Image<i16>, dir: SobelDirection, engine: Engine) {
+    assert_eq!(src.width(), dst.width(), "width mismatch");
+    assert_eq!(src.height(), dst.height(), "height mismatch");
+    let height = src.height();
+    let mut mid = Image::<i16>::new(src.width(), src.height());
+    rows_mut(&mut mid)
+        .into_par_iter()
+        .enumerate()
+        .for_each(|(y, mrow)| match dir {
+            SobelDirection::X => h_diff_row(src.row(y), mrow, engine),
+            SobelDirection::Y => h_smooth_row(src.row(y), mrow, engine),
+        });
+    let clamp = |y: isize| y.clamp(0, height as isize - 1) as usize;
+    rows_mut(dst)
+        .into_par_iter()
+        .enumerate()
+        .for_each(|(y, drow)| {
+            let above = mid.row(clamp(y as isize - 1));
+            let here = mid.row(y);
+            let below = mid.row(clamp(y as isize + 1));
+            match dir {
+                SobelDirection::X => v_smooth_row(above, here, below, drow, engine),
+                SobelDirection::Y => v_diff_row(above, below, drow, engine),
+            }
+        });
+}
+
+/// Row-parallel edge detection.
+pub fn par_edge_detect(src: &Image<u8>, dst: &mut Image<u8>, thresh: u8, engine: Engine) {
+    assert_eq!(src.width(), dst.width(), "width mismatch");
+    assert_eq!(src.height(), dst.height(), "height mismatch");
+    let mut gx = Image::<i16>::new(src.width(), src.height());
+    let mut gy = Image::<i16>::new(src.width(), src.height());
+    par_sobel(src, &mut gx, SobelDirection::X, engine);
+    par_sobel(src, &mut gy, SobelDirection::Y, engine);
+    rows_mut(dst)
+        .into_par_iter()
+        .enumerate()
+        .for_each(|(y, drow)| {
+            let mut mag = vec![0u8; drow.len()];
+            magnitude_row(gx.row(y), gy.row(y), &mut mag, engine);
+            threshold_row(&mag, drow, thresh, 255, ThresholdType::Binary, engine);
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::convert_f32_to_i16;
+    use crate::edge::edge_detect;
+    use crate::gaussian::gaussian_blur;
+    use crate::sobel::sobel;
+    use crate::threshold::threshold_u8;
+    use pixelimage::{synthetic_image, synthetic_image_f32};
+
+    #[test]
+    fn par_convert_matches_sequential() {
+        let src = synthetic_image_f32(131, 61, 41).map(|v| (v - 100.0) * 500.0);
+        let mut seq = Image::new(131, 61);
+        convert_f32_to_i16(&src, &mut seq, Engine::Native);
+        let mut par = Image::new(131, 61);
+        par_convert_f32_to_i16(&src, &mut par, Engine::Native);
+        assert!(par.pixels_eq(&seq));
+    }
+
+    #[test]
+    fn par_threshold_matches_sequential() {
+        let src = synthetic_image(131, 61, 43);
+        let mut seq = Image::new(131, 61);
+        threshold_u8(&src, &mut seq, 128, 255, ThresholdType::Binary, Engine::Native);
+        let mut par = Image::new(131, 61);
+        par_threshold_u8(&src, &mut par, 128, 255, ThresholdType::Binary, Engine::Native);
+        assert!(par.pixels_eq(&seq));
+    }
+
+    #[test]
+    fn par_gaussian_matches_sequential() {
+        let src = synthetic_image(131, 61, 47);
+        let mut seq = Image::new(131, 61);
+        gaussian_blur(&src, &mut seq, Engine::Native);
+        let mut par = Image::new(131, 61);
+        par_gaussian_blur(&src, &mut par, Engine::Native);
+        assert!(par.pixels_eq(&seq));
+    }
+
+    #[test]
+    fn par_sobel_matches_sequential() {
+        let src = synthetic_image(131, 61, 53);
+        for dir in [SobelDirection::X, SobelDirection::Y] {
+            let mut seq = Image::new(131, 61);
+            sobel(&src, &mut seq, dir, Engine::Native);
+            let mut par = Image::new(131, 61);
+            par_sobel(&src, &mut par, dir, Engine::Native);
+            assert!(par.pixels_eq(&seq), "{dir:?}");
+        }
+    }
+
+    #[test]
+    fn par_edge_matches_sequential() {
+        let src = synthetic_image(131, 61, 59);
+        let mut seq = Image::new(131, 61);
+        edge_detect(&src, &mut seq, 96, Engine::Native);
+        let mut par = Image::new(131, 61);
+        par_edge_detect(&src, &mut par, 96, Engine::Native);
+        assert!(par.pixels_eq(&seq));
+    }
+
+    #[test]
+    fn parallel_works_with_sim_engines_too() {
+        let src = synthetic_image(64, 32, 61);
+        let mut seq = Image::new(64, 32);
+        gaussian_blur(&src, &mut seq, Engine::Scalar);
+        for engine in [Engine::Sse2Sim, Engine::NeonSim] {
+            let mut par = Image::new(64, 32);
+            par_gaussian_blur(&src, &mut par, engine);
+            assert!(par.pixels_eq(&seq), "{engine:?}");
+        }
+    }
+}

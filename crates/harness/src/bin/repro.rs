@@ -1,0 +1,205 @@
+//! Command-line reproduction driver.
+//!
+//! ```text
+//! repro table1                 # Table I (platform inventory)
+//! repro table2                 # Table II (convert, simulated platforms)
+//! repro table3                 # Table III (benchmarks 2-5 at 8 Mpx)
+//! repro figure2 .. figure6     # speed-up figures (simulated platforms)
+//! repro asm-analysis           # Section V instruction-stream comparison
+//! repro energy                 # A4 energy-efficiency extension
+//! repro host [--quick] [--full] [--csv FILE]  # AUTO vs HAND on THIS machine
+//! repro csv [dir]              # write every table/figure as CSV files
+//! repro all                    # everything except host mode
+//! ```
+
+use pixelimage::Resolution;
+use platform_model::{all_platforms, Isa, Kernel};
+use repro_harness::figures::{figure, render_figure};
+use repro_harness::tables::{render_table, table1, table2, table3};
+use repro_harness::timing::{host_auto_engine, host_hand_engine, measure, HostConfig, WorkSet};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("all");
+    match command {
+        "table1" => print!("{}", render_table(&table1())),
+        "table2" => print!("{}", render_table(&table2())),
+        "table3" => print!("{}", render_table(&table3())),
+        "figure2" => print!("{}", render_figure(&figure(Kernel::Convert))),
+        "figure3" => print!("{}", render_figure(&figure(Kernel::Threshold))),
+        "figure4" => print!("{}", render_figure(&figure(Kernel::Gaussian))),
+        "figure5" => print!("{}", render_figure(&figure(Kernel::Sobel))),
+        "figure6" => print!("{}", render_figure(&figure(Kernel::Edge))),
+        "asm-analysis" => asm_analysis(),
+        "energy" => energy(),
+        "host" => host_mode(&args[1..]),
+        "csv" => {
+            let dir = args.get(1).cloned().unwrap_or_else(|| "results".into());
+            if let Err(e) = write_csvs(&dir) {
+                eprintln!("csv export failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        "all" => {
+            print!("{}", render_table(&table1()));
+            println!();
+            print!("{}", render_table(&table2()));
+            println!();
+            print!("{}", render_table(&table3()));
+            for kernel in Kernel::ALL {
+                println!();
+                print!("{}", render_figure(&figure(kernel)));
+            }
+            println!();
+            asm_analysis();
+            println!();
+            energy();
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            eprintln!(
+                "usage: repro [table1|table2|table3|figure2..figure6|asm-analysis|energy|host|all]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Writes every table and figure as CSV into `dir`.
+fn write_csvs(dir: &str) -> std::io::Result<()> {
+    use repro_harness::figures::figure_number;
+    let dir = std::path::Path::new(dir);
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("table1.csv"), table1().to_csv())?;
+    std::fs::write(dir.join("table2.csv"), table2().to_csv())?;
+    std::fs::write(dir.join("table3.csv"), table3().to_csv())?;
+    for kernel in Kernel::ALL {
+        let fig = figure(kernel);
+        let name = format!("figure{}.csv", figure_number(kernel));
+        std::fs::write(dir.join(name), fig.to_csv())?;
+    }
+    println!("wrote table1-3.csv and figure2-6.csv to {}", dir.display());
+    Ok(())
+}
+
+/// Section V: instruction-stream comparison of HAND vs AUTO per kernel.
+fn asm_analysis() {
+    use op_trace::analysis::{StreamComparison, StreamProfile};
+    use op_trace::OpMix;
+    use platform_model::workload::{auto_mix, hand_mix};
+
+    println!("Section V analysis: instruction streams per output pixel");
+    println!("(HAND measured through the simulated intrinsic surfaces;");
+    println!(" AUTO modelled from the paper's gcc 4.6 disassembly)\n");
+    for isa in [Isa::Neon, Isa::Sse2] {
+        println!("--- {} ---", isa.label());
+        for kernel in Kernel::ALL {
+            let hand = hand_mix(kernel, isa);
+            let auto = auto_mix(kernel, isa);
+            // Render per 1000 pixels so integer op counts read naturally.
+            let to_opmix = |m: &platform_model::workload::PixelMix| {
+                let mut mix = OpMix::new();
+                for class in op_trace::OpClass::ALL {
+                    mix.set(class, (m.get(class) * 1000.0).round() as u64);
+                }
+                mix
+            };
+            let cmp = StreamComparison::new(
+                format!("{} [{}]", kernel.label(), isa.label()),
+                StreamProfile::new("HAND (intrinsics)", to_opmix(&hand), 1000),
+                StreamProfile::new("AUTO (gcc 4.6)", to_opmix(&auto), 1000),
+            );
+            print!("{}", cmp.report());
+        }
+    }
+}
+
+/// A4: energy-efficiency extension.
+fn energy() {
+    use platform_model::energy::{classify, joules_per_frame, megapixels_per_joule};
+    use platform_model::Strategy;
+
+    println!("Energy extension (A4): 8 Mpx Gaussian blur, per-frame energy");
+    println!(
+        "{:<14} {:>6} {:>12} {:>12} {:>14}  tier",
+        "platform", "watts", "J/frame(A)", "J/frame(H)", "Mpx/J (HAND)"
+    );
+    for p in all_platforms() {
+        let auto = joules_per_frame(&p, Kernel::Gaussian, Strategy::Auto, Resolution::Mp8);
+        let hand = joules_per_frame(&p, Kernel::Gaussian, Strategy::Hand, Resolution::Mp8);
+        let eff = megapixels_per_joule(&p, Kernel::Gaussian, Strategy::Hand, Resolution::Mp8);
+        println!(
+            "{:<14} {:>6.1} {:>12.4} {:>12.4} {:>14.2}  {:?}",
+            p.short,
+            p.tdp_watts,
+            auto,
+            hand,
+            eff,
+            classify(&p)
+        );
+    }
+}
+
+/// Host mode: real measurements on this machine.
+fn host_mode(args: &[String]) {
+    let quick = args.iter().any(|a| a == "--quick");
+    let full = args.iter().any(|a| a == "--full");
+    let csv_path = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let config = if quick {
+        HostConfig::quick()
+    } else {
+        HostConfig::default()
+    };
+    let resolutions: &[Resolution] = if full {
+        &Resolution::ALL
+    } else if quick {
+        &[Resolution::Vga]
+    } else {
+        &[Resolution::Vga, Resolution::Mp1]
+    };
+
+    println!("Host mode: AUTO (compiler-vectorized Rust) vs HAND (native intrinsics)");
+    println!(
+        "protocol: {} images x {} cycles per point\n",
+        config.images, config.cycles
+    );
+    println!(
+        "{:<10} {:>11} {:>12} {:>12} {:>9}",
+        "kernel", "image", "AUTO (s)", "HAND (s)", "speed-up"
+    );
+    let mut csv = String::from("kernel,image,auto_seconds,hand_seconds,speedup\n");
+    for &res in resolutions {
+        let work = WorkSet::new(res, config.images);
+        for kernel in Kernel::ALL {
+            let auto = measure(kernel, host_auto_engine(), &work, &config);
+            let hand = measure(kernel, host_hand_engine(), &work, &config);
+            println!(
+                "{:<10} {:>11} {:>12.6} {:>12.6} {:>8.2}x",
+                kernel.table3_label(),
+                res.label(),
+                auto.seconds,
+                hand.seconds,
+                auto.seconds / hand.seconds
+            );
+            csv.push_str(&format!(
+                "{},{},{:.6},{:.6},{:.3}\n",
+                kernel.table3_label(),
+                res.label(),
+                auto.seconds,
+                hand.seconds,
+                auto.seconds / hand.seconds
+            ));
+        }
+    }
+    if let Some(path) = csv_path {
+        if let Err(e) = std::fs::write(&path, csv) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nwrote {path}");
+    }
+}

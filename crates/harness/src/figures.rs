@@ -1,0 +1,186 @@
+//! Figure 2–6 series: HAND:AUTO speed-up per platform per image size, with
+//! an ASCII bar rendering mirroring the paper's grouped bar charts.
+
+use pixelimage::Resolution;
+use platform_model::{all_platforms, speedup, Kernel};
+use std::fmt::Write as _;
+
+/// One platform's speed-up series across the four image sizes.
+#[derive(Debug, Clone)]
+pub struct FigureSeries {
+    /// Platform short name.
+    pub platform: String,
+    /// `(resolution label, speed-up)` for each image size, smallest first.
+    pub points: Vec<(String, f64)>,
+}
+
+/// A full figure: one series per platform.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Figure caption (matching the paper's numbering).
+    pub title: String,
+    /// Per-platform series.
+    pub series: Vec<FigureSeries>,
+}
+
+impl Figure {
+    /// Largest speed-up in the figure.
+    pub fn max_speedup(&self) -> f64 {
+        self.series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(_, v)| v))
+            .fold(0.0, f64::max)
+    }
+
+    /// Smallest speed-up in the figure.
+    pub fn min_speedup(&self) -> f64 {
+        self.series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(_, v)| v))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// CSV form: platform, one column per size.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("platform");
+        for (label, _) in &self.series[0].points {
+            out.push(',');
+            out.push_str(label);
+        }
+        out.push('\n');
+        for s in &self.series {
+            out.push_str(&s.platform);
+            for (_, v) in &s.points {
+                write!(out, ",{v:.2}").unwrap();
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The paper's figure number for each kernel's speed-up chart.
+pub fn figure_number(kernel: Kernel) -> u32 {
+    match kernel {
+        Kernel::Convert => 2,
+        Kernel::Threshold => 3,
+        Kernel::Gaussian => 4,
+        Kernel::Sobel => 5,
+        Kernel::Edge => 6,
+    }
+}
+
+/// Builds one figure (simulated-platform mode).
+pub fn figure(kernel: Kernel) -> Figure {
+    let series = all_platforms()
+        .iter()
+        .map(|p| FigureSeries {
+            platform: p.short.to_string(),
+            points: Resolution::ALL
+                .iter()
+                .map(|&res| (res.label().to_string(), speedup(p, kernel, res)))
+                .collect(),
+        })
+        .collect();
+    Figure {
+        title: format!(
+            "Figure {}: {} relative speed-up factor",
+            figure_number(kernel),
+            kernel.label()
+        ),
+        series,
+    }
+}
+
+/// Renders a figure as grouped ASCII bars (one row per platform/size).
+pub fn render_figure(fig: &Figure) -> String {
+    let max = fig.max_speedup().max(1.0);
+    let bar_width = 48usize;
+    let mut out = String::new();
+    writeln!(out, "{}", fig.title).unwrap();
+    for series in &fig.series {
+        writeln!(out, "  {}", series.platform).unwrap();
+        for (label, value) in &series.points {
+            let filled = ((value / max) * bar_width as f64).round() as usize;
+            writeln!(
+                out,
+                "    {:>9} |{}{}| {:.2}x",
+                label,
+                "#".repeat(filled.min(bar_width)),
+                " ".repeat(bar_width - filled.min(bar_width)),
+                value
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_numbers_match_paper() {
+        assert_eq!(figure_number(Kernel::Convert), 2);
+        assert_eq!(figure_number(Kernel::Threshold), 3);
+        assert_eq!(figure_number(Kernel::Gaussian), 4);
+        assert_eq!(figure_number(Kernel::Sobel), 5);
+        assert_eq!(figure_number(Kernel::Edge), 6);
+    }
+
+    #[test]
+    fn figure2_shape_matches_paper_bands() {
+        let fig = figure(Kernel::Convert);
+        assert_eq!(fig.series.len(), 10);
+        assert_eq!(fig.series[0].points.len(), 4);
+        // ARM max around 13x, overall min above 1.
+        assert!(fig.max_speedup() > 10.0 && fig.max_speedup() < 16.0);
+        assert!(fig.min_speedup() >= 1.0);
+    }
+
+    #[test]
+    fn figures_3_to_6_have_smaller_ceilings_than_figure2() {
+        let convert_max = figure(Kernel::Convert).max_speedup();
+        for kernel in [Kernel::Threshold, Kernel::Gaussian, Kernel::Sobel, Kernel::Edge] {
+            let fig = figure(kernel);
+            assert!(
+                fig.max_speedup() < convert_max,
+                "{kernel:?} max {} should be below convert max {convert_max}",
+                fig.max_speedup()
+            );
+            // Paper: "the maximum speed-up observed in Figures 3-6 is about
+            // 5.5 across all platforms".
+            assert!(fig.max_speedup() < 6.5, "{kernel:?}");
+        }
+    }
+
+    #[test]
+    fn speedups_are_size_stable_within_platform() {
+        // Paper: "Within a given processor type the results are remarkably
+        // similar for all image sizes."
+        let fig = figure(Kernel::Convert);
+        for series in &fig.series {
+            let values: Vec<f64> = series.points.iter().map(|&(_, v)| v).collect();
+            let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = values.iter().cloned().fold(0.0, f64::max);
+            assert!(
+                max / min < 1.5,
+                "{}: speed-up varies too much across sizes ({min}..{max})",
+                series.platform
+            );
+        }
+    }
+
+    #[test]
+    fn csv_and_ascii_render() {
+        let fig = figure(Kernel::Threshold);
+        let csv = fig.to_csv();
+        assert!(csv.starts_with("platform,640x480,"));
+        assert_eq!(csv.lines().count(), 11);
+        let text = render_figure(&fig);
+        assert!(text.contains("Figure 3"));
+        assert!(text.contains("Tegra-T30"));
+        assert!(text.contains('#'));
+    }
+}

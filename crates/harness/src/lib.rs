@@ -1,0 +1,22 @@
+//! The paper's measurement methodology and its table/figure generators.
+//!
+//! Two modes regenerate every evaluation artifact:
+//!
+//! * **Simulated-platform mode** (the default) — replays the instruction-mix
+//!   and memory models of `platform-model` for all ten Table I platforms,
+//!   producing Table II, Table III and the Figure 2–6 speed-up series with
+//!   the paper's *shapes*.
+//! * **Host mode** — actually runs the kernels on this machine, AUTO
+//!   (compiler-vectorized Rust) against HAND (native intrinsics), with the
+//!   paper's exact protocol: cycle through 5 different images of each
+//!   resolution, 25 times, for an average over 100 runs, using a
+//!   high-resolution timer.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod tables;
+pub mod timing;
+
+pub use tables::{render_table, Table};
+pub use timing::{measure, HostConfig, HostMeasurement};

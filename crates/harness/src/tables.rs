@@ -1,0 +1,240 @@
+//! Table I / Table II / Table III generators.
+
+use pixelimage::Resolution;
+use platform_model::{all_platforms, predict_seconds, Kernel, PlatformSpec, Strategy};
+use std::fmt::Write as _;
+
+/// A rendered table: header row plus data rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Serialises as CSV (caption excluded).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a table as aligned ASCII.
+pub fn render_table(table: &Table) -> String {
+    let mut widths: Vec<usize> = table.header.iter().map(|h| h.len()).collect();
+    for row in &table.rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    writeln!(out, "{}", table.title).unwrap();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths.iter())
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    writeln!(out, "{}", fmt_row(&table.header, &widths)).unwrap();
+    writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())).unwrap();
+    for row in &table.rows {
+        writeln!(out, "{}", fmt_row(row, &widths)).unwrap();
+    }
+    out
+}
+
+/// Table I — the platform inventory.
+pub fn table1() -> Table {
+    let header = vec![
+        "PROCESSOR".into(),
+        "CODENAME".into(),
+        "Launched".into(),
+        "Thr/Cores/GHz".into(),
+        "L1/L2/L3 (KB)".into(),
+        "Memory".into(),
+        "SIMD".into(),
+    ];
+    let rows = all_platforms()
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.to_string(),
+                p.codename.to_string(),
+                p.launched.to_string(),
+                format!("{}/{}/{}", p.threads, p.cores, p.ghz),
+                format!(
+                    "{}/{}/{}",
+                    p.l1d_kb,
+                    p.l2_kb,
+                    if p.l3_kb == 0 {
+                        "No L3".to_string()
+                    } else {
+                        p.l3_kb.to_string()
+                    }
+                ),
+                p.memory.to_string(),
+                p.simd_ext.to_string(),
+            ]
+        })
+        .collect();
+    Table {
+        title: "Table I: Platforms Used in Benchmarks".into(),
+        header,
+        rows,
+    }
+}
+
+fn strategy_rows(
+    platforms: &[PlatformSpec],
+    kernel: Kernel,
+    res: Resolution,
+) -> Vec<Vec<String>> {
+    let auto: Vec<f64> = platforms
+        .iter()
+        .map(|p| predict_seconds(p, kernel, Strategy::Auto, res))
+        .collect();
+    let hand: Vec<f64> = platforms
+        .iter()
+        .map(|p| predict_seconds(p, kernel, Strategy::Hand, res))
+        .collect();
+    let fmt = |v: &f64| format!("{v:.4}");
+    let mut rows = Vec::new();
+    let mut auto_row = vec![res.label().to_string(), "AUTO".to_string()];
+    auto_row.extend(auto.iter().map(fmt));
+    rows.push(auto_row);
+    let mut hand_row = vec![String::new(), "HAND".to_string()];
+    hand_row.extend(hand.iter().map(fmt));
+    rows.push(hand_row);
+    let mut speed_row = vec![String::new(), "Speed-up".to_string()];
+    speed_row.extend(
+        auto.iter()
+            .zip(hand.iter())
+            .map(|(a, h)| format!("{:.2}", a / h)),
+    );
+    rows.push(speed_row);
+    rows
+}
+
+/// Table II — float→short conversion times for all four image sizes across
+/// all ten platforms (simulated mode).
+pub fn table2() -> Table {
+    let platforms = all_platforms();
+    let mut header = vec!["Image Size".to_string(), "SIMD".to_string()];
+    header.extend(platforms.iter().map(|p| p.short.to_string()));
+    let mut rows = Vec::new();
+    for res in Resolution::ALL {
+        rows.extend(strategy_rows(&platforms, Kernel::Convert, res));
+    }
+    Table {
+        title: "Table II: Time (in seconds) to perform conversion of Float to Short Int \
+                (simulated platforms)"
+            .into(),
+        header,
+        rows,
+    }
+}
+
+/// Table III — benchmarks 2–5 on the 8 Mpx image (simulated mode).
+pub fn table3() -> Table {
+    let platforms = all_platforms();
+    let mut header = vec!["Benchmark".to_string(), "SIMD".to_string()];
+    header.extend(platforms.iter().map(|p| p.short.to_string()));
+    let mut rows = Vec::new();
+    for kernel in [
+        Kernel::Threshold,
+        Kernel::Gaussian,
+        Kernel::Sobel,
+        Kernel::Edge,
+    ] {
+        let mut block = strategy_rows(&platforms, kernel, Resolution::Mp8);
+        block[0][0] = kernel.table3_label().to_string();
+        rows.extend(block);
+    }
+    Table {
+        title: "Table III: Time (in seconds) for Binary Thresholding, Gaussian Blur, Sobel \
+                Filter and Edge Detection on 8mpx (3264x2448) images (simulated platforms)"
+            .into(),
+        header,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_ten_platforms() {
+        let t = table1();
+        assert_eq!(t.rows.len(), 10);
+        assert!(t.rows[0][0].contains("Atom"));
+        assert!(t.rows[9][0].contains("Tegra"));
+        // The Atom's quirky 24KB L1 D-cache survives the formatting.
+        assert!(t.rows[0][4].starts_with("24/1024/No L3"));
+    }
+
+    #[test]
+    fn table2_has_four_sizes_times_three_rows() {
+        let t = table2();
+        assert_eq!(t.rows.len(), 4 * 3);
+        assert_eq!(t.header.len(), 2 + 10);
+        // First block starts with the smallest size, AUTO row.
+        assert_eq!(t.rows[0][0], "640x480");
+        assert_eq!(t.rows[0][1], "AUTO");
+        assert_eq!(t.rows[2][1], "Speed-up");
+    }
+
+    #[test]
+    fn table3_has_four_benchmarks() {
+        let t = table3();
+        assert_eq!(t.rows.len(), 4 * 3);
+        assert_eq!(t.rows[0][0], "BinThr");
+        assert_eq!(t.rows[3][0], "GauBlu");
+        assert_eq!(t.rows[6][0], "SobFil");
+        assert_eq!(t.rows[9][0], "EdgDet");
+    }
+
+    #[test]
+    fn speedup_rows_exceed_one() {
+        let t = table3();
+        for block in t.rows.chunks(3) {
+            let speed = &block[2];
+            for cell in &speed[2..] {
+                let v: f64 = cell.parse().unwrap();
+                assert!(v >= 0.99, "speed-up {v} < 1");
+            }
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_layout() {
+        let t = table1();
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 11);
+        assert!(lines[0].starts_with("PROCESSOR,"));
+    }
+
+    #[test]
+    fn ascii_rendering_contains_all_cells() {
+        let t = table3();
+        let text = render_table(&t);
+        assert!(text.contains("BinThr"));
+        assert!(text.contains("Tegra-T30"));
+        assert!(text.contains("Speed-up"));
+    }
+}

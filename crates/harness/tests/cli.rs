@@ -1,0 +1,157 @@
+//! End-to-end tests of the two command-line binaries, spawned as real
+//! processes.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn imgtool() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_imgtool"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("simd-repro-cli-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn repro_table1_prints_all_platforms() {
+    let out = repro().arg("table1").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for name in ["Intel Atom D510", "NVIDIA Tegra T30", "Samsung Exynos 3110"] {
+        assert!(text.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn repro_table2_has_speedup_rows() {
+    let out = repro().arg("table2").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(text.matches("Speed-up").count(), 4); // one per image size
+    assert!(text.contains("3264x2448"));
+}
+
+#[test]
+fn repro_figures_render_bars() {
+    for figure in ["figure2", "figure3", "figure4", "figure5", "figure6"] {
+        let out = repro().arg(figure).output().unwrap();
+        assert!(out.status.success(), "{figure}");
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains('#'), "{figure} has no bars");
+        assert!(text.contains("ODROID-X"));
+    }
+}
+
+#[test]
+fn repro_asm_analysis_reports_instruction_ratio() {
+    let out = repro().arg("asm-analysis").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("instruction ratio"));
+    assert!(text.contains("libcall"));
+}
+
+#[test]
+fn repro_csv_writes_all_files() {
+    let dir = temp_dir("csv");
+    let out = repro().arg("csv").arg(&dir).output().unwrap();
+    assert!(out.status.success());
+    for file in [
+        "table1.csv",
+        "table2.csv",
+        "table3.csv",
+        "figure2.csv",
+        "figure6.csv",
+    ] {
+        let path = dir.join(file);
+        assert!(path.exists(), "missing {file}");
+        assert!(std::fs::metadata(&path).unwrap().len() > 50);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn repro_rejects_unknown_command() {
+    let out = repro().arg("bogus").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn imgtool_demo_then_pipeline_roundtrip() {
+    let dir = temp_dir("imgtool");
+    // Generate synthetic photos.
+    let out = imgtool().arg("demo").arg(&dir).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let photo = dir.join("photo0.bmp");
+    assert!(photo.exists());
+
+    // Blur with an explicit sigma.
+    let blurred = dir.join("blurred.bmp");
+    let out = imgtool()
+        .args(["blur", photo.to_str().unwrap(), blurred.to_str().unwrap()])
+        .args(["--sigma", "1.5", "--ksize", "9"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Edge-detect the blurred image with the simulated NEON backend.
+    let edges = dir.join("edges.bmp");
+    let out = imgtool()
+        .args(["edges", blurred.to_str().unwrap(), edges.to_str().unwrap()])
+        .args(["--thresh", "80", "--engine", "neon-sim"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // The edge map decodes as a binary BMP of the same size.
+    let bytes = std::fs::read(&edges).unwrap();
+    match pixelimage::bmp::decode(&bytes).unwrap() {
+        pixelimage::bmp::Decoded::Gray(img) => {
+            assert_eq!(img.width(), 640);
+            assert_eq!(img.height(), 480);
+            assert!(img.iter_pixels().all(|p| p == 0 || p == 255));
+        }
+        _ => panic!("expected gray BMP"),
+    }
+
+    // Halving produces 320x240.
+    let half = dir.join("half.bmp");
+    let out = imgtool()
+        .args(["half", photo.to_str().unwrap(), half.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let bytes = std::fs::read(&half).unwrap();
+    match pixelimage::bmp::decode(&bytes).unwrap() {
+        pixelimage::bmp::Decoded::Gray(img) => {
+            assert_eq!((img.width(), img.height()), (320, 240));
+        }
+        _ => panic!("expected gray BMP"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn imgtool_rejects_bad_engine_and_missing_file() {
+    let out = imgtool()
+        .args(["blur", "in.bmp", "out.bmp", "--engine", "quantum"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown engine"));
+
+    let out = imgtool()
+        .args(["blur", "/nonexistent/in.bmp", "/tmp/out.bmp"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

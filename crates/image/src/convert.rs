@@ -1,0 +1,95 @@
+//! Whole-image element-type conversions (the OpenCV `Mat::convertTo`
+//! equivalents the harness uses to prepare kernel inputs).
+
+use crate::image::Image;
+
+/// `u8` image to `f32` image, optionally scaled and offset:
+/// `dst = src * alpha + beta`.
+pub fn u8_to_f32(src: &Image<u8>, alpha: f32, beta: f32) -> Image<f32> {
+    let mut dst = Image::new(src.width(), src.height());
+    for y in 0..src.height() {
+        let s = src.row(y);
+        let d = dst.row_mut(y);
+        for (dv, &sv) in d.iter_mut().zip(s.iter()) {
+            *dv = sv as f32 * alpha + beta;
+        }
+    }
+    dst
+}
+
+/// `f32` image to `u8` with saturating `cvRound` semantics.
+pub fn f32_to_u8(src: &Image<f32>) -> Image<u8> {
+    src.map(simd_vector::rounding::saturate_f32_to_u8)
+}
+
+/// `i16` image to `u8` with saturation (the Sobel-output display path).
+pub fn i16_to_u8(src: &Image<i16>) -> Image<u8> {
+    src.map(simd_vector::rounding::saturate_i16_to_u8)
+}
+
+/// `u8` image widened to `i16` (exact).
+pub fn u8_to_i16(src: &Image<u8>) -> Image<i16> {
+    src.map(|v| v as i16)
+}
+
+/// `f32` image to `i16` with saturating `cvRound` semantics — the scalar
+/// reference for benchmark 1, applied image-wide.
+pub fn f32_to_i16(src: &Image<f32>) -> Image<i16> {
+    src.map(simd_vector::rounding::saturate_f32_to_i16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u8_f32_roundtrip_is_exact() {
+        let img = Image::from_fn(9, 5, |x, y| (x * 13 + y * 29) as u8);
+        let f = u8_to_f32(&img, 1.0, 0.0);
+        let back = f32_to_u8(&f);
+        assert!(back.pixels_eq(&img));
+    }
+
+    #[test]
+    fn scale_and_offset() {
+        let img = Image::from_fn(4, 1, |x, _| (x * 10) as u8);
+        let f = u8_to_f32(&img, 2.0, 1.0);
+        assert_eq!(f.row(0), &[1.0, 21.0, 41.0, 61.0]);
+    }
+
+    #[test]
+    fn f32_to_u8_saturates() {
+        let f = Image::<f32>::from_fn(3, 1, |x, _| match x {
+            0 => -10.0,
+            1 => 300.0,
+            _ => 127.4,
+        });
+        let q = f32_to_u8(&f);
+        assert_eq!(q.row(0), &[0, 255, 127]);
+    }
+
+    #[test]
+    fn i16_paths() {
+        let img = Image::from_fn(3, 1, |x, _| (x as u8) * 100);
+        let wide = u8_to_i16(&img);
+        assert_eq!(wide.row(0), &[0, 100, 200]);
+        let i16img = Image::<i16>::from_fn(4, 1, |x, _| match x {
+            0 => -5,
+            1 => 0,
+            2 => 255,
+            _ => 300,
+        });
+        assert_eq!(i16_to_u8(&i16img).row(0), &[0, 0, 255, 255]);
+    }
+
+    #[test]
+    fn f32_to_i16_uses_cv_round() {
+        let f = Image::<f32>::from_fn(4, 1, |x, _| match x {
+            0 => 0.5,   // ties to even -> 0
+            1 => 1.5,   // -> 2
+            2 => 4e4,   // saturates
+            _ => -4e4,  // saturates
+        });
+        assert_eq!(f32_to_i16(&f).row(0), &[0, 2, i16::MAX, i16::MIN]);
+    }
+}

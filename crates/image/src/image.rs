@@ -1,0 +1,323 @@
+//! The strided, row-aligned image container (the `cv::Mat` stand-in).
+
+use simd_vector::align::{AlignedBuf, Pod, SIMD_ALIGN};
+
+/// The four image resolutions used throughout the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resolution {
+    /// 640×480 — 0.3 Mpx ("the smallest resolution").
+    Vga,
+    /// 1280×960 — 1 Mpx.
+    Mp1,
+    /// 2592×1920 — 5 Mpx.
+    Mp5,
+    /// 3264×2448 — 8 Mpx (the Table III size).
+    Mp8,
+}
+
+impl Resolution {
+    /// All four, smallest first (the order of the figures' x-axes).
+    pub const ALL: [Resolution; 4] = [
+        Resolution::Vga,
+        Resolution::Mp1,
+        Resolution::Mp5,
+        Resolution::Mp8,
+    ];
+
+    /// (width, height) in pixels.
+    pub const fn dims(self) -> (usize, usize) {
+        match self {
+            Resolution::Vga => (640, 480),
+            Resolution::Mp1 => (1280, 960),
+            Resolution::Mp5 => (2592, 1920),
+            Resolution::Mp8 => (3264, 2448),
+        }
+    }
+
+    /// Total pixel count.
+    pub const fn pixels(self) -> usize {
+        let (w, h) = self.dims();
+        w * h
+    }
+
+    /// Pixel count in megapixels.
+    pub fn megapixels(self) -> f64 {
+        self.pixels() as f64 / 1.0e6
+    }
+
+    /// Display label matching the paper's figures (e.g. `"3264x2448"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Resolution::Vga => "640x480",
+            Resolution::Mp1 => "1280x960",
+            Resolution::Mp5 => "2592x1920",
+            Resolution::Mp8 => "3264x2448",
+        }
+    }
+}
+
+/// A single-channel image with 16-byte-aligned rows.
+///
+/// `stride` is the distance between row starts in *elements* and is chosen
+/// so every row begins on a 16-byte boundary — matching the aligned-store
+/// advantage the paper measures for the intrinsic kernels.
+#[derive(Debug, Clone)]
+pub struct Image<T: Pod> {
+    width: usize,
+    height: usize,
+    stride: usize,
+    data: AlignedBuf<T>,
+}
+
+impl<T: Pod> Image<T> {
+    /// Creates a zero-filled image.
+    pub fn new(width: usize, height: usize) -> Self {
+        let elem = std::mem::size_of::<T>();
+        let stride = if width == 0 {
+            0
+        } else {
+            let bytes = width * elem;
+            let padded = bytes.div_ceil(SIMD_ALIGN) * SIMD_ALIGN;
+            padded / elem
+        };
+        Image {
+            width,
+            height,
+            stride,
+            data: AlignedBuf::zeroed(stride * height),
+        }
+    }
+
+    /// Creates an image for one of the paper's resolutions.
+    pub fn for_resolution(res: Resolution) -> Self {
+        let (w, h) = res.dims();
+        Self::new(w, h)
+    }
+
+    /// Creates an image by evaluating `f(x, y)` at every pixel.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut img = Self::new(width, height);
+        for y in 0..height {
+            let row = img.row_mut(y);
+            for (x, px) in row.iter_mut().enumerate() {
+                *px = f(x, y);
+            }
+        }
+        img
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Row stride in elements (≥ width; rows are 16-byte aligned).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Total pixel count (`width * height`).
+    pub fn pixels(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// One row, exactly `width` elements.
+    #[inline]
+    pub fn row(&self, y: usize) -> &[T] {
+        let start = y * self.stride;
+        &self.data.as_slice()[start..start + self.width]
+    }
+
+    /// One row including its alignment padding (`stride` elements). SIMD
+    /// kernels may read/write the padding lanes of the final vector.
+    #[inline]
+    pub fn row_padded(&self, y: usize) -> &[T] {
+        let start = y * self.stride;
+        &self.data.as_slice()[start..start + self.stride]
+    }
+
+    /// Mutable row, exactly `width` elements.
+    #[inline]
+    pub fn row_mut(&mut self, y: usize) -> &mut [T] {
+        let start = y * self.stride;
+        &mut self.data.as_mut_slice()[start..start + self.width]
+    }
+
+    /// Mutable row including padding.
+    #[inline]
+    pub fn row_padded_mut(&mut self, y: usize) -> &mut [T] {
+        let start = y * self.stride;
+        &mut self.data.as_mut_slice()[start..start + self.stride]
+    }
+
+    /// Reads one pixel (panics out of bounds).
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> T {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data.as_slice()[y * self.stride + x]
+    }
+
+    /// Writes one pixel (panics out of bounds).
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: T) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data.as_mut_slice()[y * self.stride + x] = v;
+    }
+
+    /// The whole backing buffer including padding (length `stride*height`).
+    pub fn as_slice(&self) -> &[T] {
+        self.data.as_slice()
+    }
+
+    /// Mutable backing buffer including padding.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        self.data.as_mut_slice()
+    }
+
+    /// Two disjoint mutable rows (for in-place two-row algorithms).
+    pub fn two_rows_mut(&mut self, y0: usize, y1: usize) -> (&mut [T], &mut [T]) {
+        assert!(y0 != y1, "rows must be distinct");
+        assert!(y0 < self.height && y1 < self.height);
+        let stride = self.stride;
+        let width = self.width;
+        let data = self.data.as_mut_slice();
+        if y0 < y1 {
+            let (a, b) = data.split_at_mut(y1 * stride);
+            (
+                &mut a[y0 * stride..y0 * stride + width],
+                &mut b[..width],
+            )
+        } else {
+            let (a, b) = data.split_at_mut(y0 * stride);
+            (
+                &mut b[..width],
+                &mut a[y1 * stride..y1 * stride + width],
+            )
+        }
+    }
+
+    /// Applies `f` to every pixel, producing a new image of the same shape.
+    pub fn map<U: Pod>(&self, mut f: impl FnMut(T) -> U) -> Image<U> {
+        let mut out = Image::new(self.width, self.height);
+        for y in 0..self.height {
+            let src = self.row(y);
+            let dst = out.row_mut(y);
+            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                *d = f(*s);
+            }
+        }
+        out
+    }
+
+    /// Iterates over all valid pixels row-major (excluding padding).
+    pub fn iter_pixels(&self) -> impl Iterator<Item = T> + '_ {
+        (0..self.height).flat_map(move |y| self.row(y).iter().copied())
+    }
+
+    /// True when every pixel satisfies `pred`.
+    pub fn all_pixels(&self, mut pred: impl FnMut(T) -> bool) -> bool {
+        self.iter_pixels().all(&mut pred)
+    }
+}
+
+impl<T: Pod + PartialEq> Image<T> {
+    /// Pixel-exact equality ignoring padding contents.
+    pub fn pixels_eq(&self, other: &Image<T>) -> bool {
+        if self.width != other.width || self.height != other.height {
+            return false;
+        }
+        (0..self.height).all(|y| self.row(y) == other.row(y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_simd_aligned() {
+        for width in [1usize, 3, 16, 17, 639, 640, 641] {
+            let img = Image::<u8>::new(width, 4);
+            for y in 0..4 {
+                let ptr = img.row_padded(y).as_ptr() as usize;
+                assert_eq!(ptr % SIMD_ALIGN, 0, "width {width} row {y}");
+            }
+        }
+        let imgf = Image::<f32>::new(5, 3);
+        assert_eq!(imgf.stride() % 4, 0);
+        assert_eq!(imgf.row_padded(1).as_ptr() as usize % SIMD_ALIGN, 0);
+    }
+
+    #[test]
+    fn stride_at_least_width() {
+        for width in 1..70 {
+            let img = Image::<i16>::new(width, 2);
+            assert!(img.stride() >= width);
+        }
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut img = Image::<i16>::new(10, 10);
+        img.set(3, 7, -42);
+        assert_eq!(img.get(3, 7), -42);
+        assert_eq!(img.get(4, 7), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_panics_out_of_bounds() {
+        let img = Image::<u8>::new(4, 4);
+        let _ = img.get(4, 0);
+    }
+
+    #[test]
+    fn from_fn_and_map() {
+        let img = Image::from_fn(8, 4, |x, y| (x + 10 * y) as u8);
+        assert_eq!(img.get(3, 2), 23);
+        let doubled = img.map(|v| v as u16 * 2);
+        assert_eq!(doubled.get(3, 2), 46);
+        assert_eq!(doubled.width(), 8);
+    }
+
+    #[test]
+    fn two_rows_mut_disjoint() {
+        let mut img = Image::from_fn(4, 4, |x, y| (x + y) as u8);
+        let (r0, r2) = img.two_rows_mut(0, 2);
+        r0[0] = 100;
+        r2[0] = 200;
+        assert_eq!(img.get(0, 0), 100);
+        assert_eq!(img.get(0, 2), 200);
+        // Reversed order also works.
+        let (r3, r1) = img.two_rows_mut(3, 1);
+        r3[1] = 7;
+        r1[1] = 8;
+        assert_eq!(img.get(1, 3), 7);
+        assert_eq!(img.get(1, 1), 8);
+    }
+
+    #[test]
+    fn pixels_eq_ignores_padding() {
+        let mut a = Image::<u8>::new(5, 2);
+        let b = Image::<u8>::new(5, 2);
+        // Poke padding only (stride 16 > width 5).
+        assert!(a.stride() > a.width());
+        let stride = a.stride();
+        a.as_mut_slice()[stride - 1] = 99;
+        assert!(a.pixels_eq(&b));
+        a.set(0, 0, 1);
+        assert!(!a.pixels_eq(&b));
+    }
+
+    #[test]
+    fn iter_pixels_visits_width_times_height() {
+        let img = Image::from_fn(7, 3, |_, _| 1u8);
+        assert_eq!(img.iter_pixels().count(), 21);
+        assert!(img.all_pixels(|p| p == 1));
+    }
+}

@@ -1,0 +1,42 @@
+//! Image container, BMP codec, synthetic camera images and quality metrics.
+//!
+//! This crate replaces the parts of OpenCV's `core` module that the paper's
+//! harness depends on (the `cv::Mat` container and image file I/O), plus the
+//! paper's test data: uncompressed bitmap photographs at the four mobile
+//! camera resolutions (0.3, 1, 5 and 8 megapixels). Since the original five
+//! photos per resolution are not published, [`synth`] generates
+//! deterministic photo-like images (smooth illumination gradients, occluding
+//! shapes, sensor noise) with the same sizes and the same
+//! cycle-five-images-to-defeat-caching role.
+
+#![warn(missing_docs)]
+
+pub mod bmp;
+pub mod convert;
+pub mod image;
+pub mod metrics;
+pub mod synth;
+
+pub use image::{Image, Resolution};
+pub use synth::{synthetic_image, synthetic_image_f32, synthetic_suite};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_resolutions() {
+        assert_eq!(Resolution::Vga.dims(), (640, 480));
+        assert_eq!(Resolution::Mp1.dims(), (1280, 960));
+        assert_eq!(Resolution::Mp5.dims(), (2592, 1920));
+        assert_eq!(Resolution::Mp8.dims(), (3264, 2448));
+    }
+
+    #[test]
+    fn megapixel_counts_match_paper() {
+        assert!((Resolution::Vga.megapixels() - 0.3).abs() < 0.02);
+        assert!((Resolution::Mp1.megapixels() - 1.2).abs() < 0.05);
+        assert!((Resolution::Mp5.megapixels() - 5.0).abs() < 0.05);
+        assert!((Resolution::Mp8.megapixels() - 8.0).abs() < 0.05);
+    }
+}

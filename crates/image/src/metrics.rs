@@ -1,0 +1,154 @@
+//! Image comparison metrics used by the verification suite.
+
+use crate::image::Image;
+
+/// Maximum absolute per-pixel difference between two `u8` images.
+pub fn max_abs_diff_u8(a: &Image<u8>, b: &Image<u8>) -> u8 {
+    assert_dims(a.width(), a.height(), b.width(), b.height());
+    let mut max = 0u8;
+    for y in 0..a.height() {
+        for (&pa, &pb) in a.row(y).iter().zip(b.row(y).iter()) {
+            max = max.max(pa.abs_diff(pb));
+        }
+    }
+    max
+}
+
+/// Maximum absolute per-pixel difference between two `i16` images.
+pub fn max_abs_diff_i16(a: &Image<i16>, b: &Image<i16>) -> u16 {
+    assert_dims(a.width(), a.height(), b.width(), b.height());
+    let mut max = 0u16;
+    for y in 0..a.height() {
+        for (&pa, &pb) in a.row(y).iter().zip(b.row(y).iter()) {
+            max = max.max(pa.abs_diff(pb));
+        }
+    }
+    max
+}
+
+/// Mean squared error between two `u8` images.
+pub fn mse_u8(a: &Image<u8>, b: &Image<u8>) -> f64 {
+    assert_dims(a.width(), a.height(), b.width(), b.height());
+    let mut sum = 0f64;
+    for y in 0..a.height() {
+        for (&pa, &pb) in a.row(y).iter().zip(b.row(y).iter()) {
+            let d = pa as f64 - pb as f64;
+            sum += d * d;
+        }
+    }
+    sum / a.pixels() as f64
+}
+
+/// Peak signal-to-noise ratio in dB (`f64::INFINITY` for identical images).
+pub fn psnr_u8(a: &Image<u8>, b: &Image<u8>) -> f64 {
+    let mse = mse_u8(a, b);
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0f64 * 255.0 / mse).log10()
+    }
+}
+
+/// Mean pixel value of a `u8` image.
+pub fn mean_u8(img: &Image<u8>) -> f64 {
+    let sum: u64 = img.iter_pixels().map(|p| p as u64).sum();
+    sum as f64 / img.pixels() as f64
+}
+
+/// 256-bin histogram of a `u8` image.
+pub fn histogram_u8(img: &Image<u8>) -> [u64; 256] {
+    let mut bins = [0u64; 256];
+    for p in img.iter_pixels() {
+        bins[p as usize] += 1;
+    }
+    bins
+}
+
+/// Fraction of pixels that differ between two `u8` images.
+pub fn diff_fraction_u8(a: &Image<u8>, b: &Image<u8>) -> f64 {
+    assert_dims(a.width(), a.height(), b.width(), b.height());
+    let mut diff = 0usize;
+    for y in 0..a.height() {
+        for (&pa, &pb) in a.row(y).iter().zip(b.row(y).iter()) {
+            if pa != pb {
+                diff += 1;
+            }
+        }
+    }
+    diff as f64 / a.pixels() as f64
+}
+
+#[track_caller]
+fn assert_dims(aw: usize, ah: usize, bw: usize, bh: usize) {
+    assert!(
+        aw == bw && ah == bh,
+        "image dimensions differ: {aw}x{ah} vs {bw}x{bh}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img(vals: &[&[u8]]) -> Image<u8> {
+        Image::from_fn(vals[0].len(), vals.len(), |x, y| vals[y][x])
+    }
+
+    #[test]
+    fn identical_images_metrics() {
+        let a = img(&[&[1, 2, 3], &[4, 5, 6]]);
+        assert_eq!(max_abs_diff_u8(&a, &a), 0);
+        assert_eq!(mse_u8(&a, &a), 0.0);
+        assert_eq!(psnr_u8(&a, &a), f64::INFINITY);
+        assert_eq!(diff_fraction_u8(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn max_abs_diff_finds_largest() {
+        let a = img(&[&[10, 20], &[30, 40]]);
+        let b = img(&[&[12, 20], &[5, 41]]);
+        assert_eq!(max_abs_diff_u8(&a, &b), 25);
+    }
+
+    #[test]
+    fn mse_and_psnr() {
+        let a = img(&[&[0, 0], &[0, 0]]);
+        let b = img(&[&[10, 0], &[0, 0]]);
+        assert_eq!(mse_u8(&a, &b), 25.0);
+        let psnr = psnr_u8(&a, &b);
+        assert!((psnr - 10.0 * (255.0f64 * 255.0 / 25.0).log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_and_histogram() {
+        let a = img(&[&[0, 255], &[255, 0]]);
+        assert_eq!(mean_u8(&a), 127.5);
+        let h = histogram_u8(&a);
+        assert_eq!(h[0], 2);
+        assert_eq!(h[255], 2);
+        assert_eq!(h[100], 0);
+        assert_eq!(h.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn diff_fraction_counts_changed_pixels() {
+        let a = img(&[&[1, 2, 3, 4]]);
+        let b = img(&[&[1, 9, 3, 9]]);
+        assert_eq!(diff_fraction_u8(&a, &b), 0.5);
+    }
+
+    #[test]
+    fn i16_diff() {
+        let a = Image::<i16>::from_fn(2, 1, |x, _| if x == 0 { -100 } else { 50 });
+        let b = Image::<i16>::from_fn(2, 1, |x, _| if x == 0 { 100 } else { 50 });
+        assert_eq!(max_abs_diff_i16(&a, &b), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions differ")]
+    fn dimension_mismatch_panics() {
+        let a = Image::<u8>::new(2, 2);
+        let b = Image::<u8>::new(3, 2);
+        let _ = max_abs_diff_u8(&a, &b);
+    }
+}

@@ -1,0 +1,255 @@
+//! Deterministic photo-like synthetic images.
+//!
+//! The paper cycles through five different photographs per resolution "to
+//! minimize caching effects"; the photographs themselves are not published.
+//! This module generates stand-ins with the statistical features that matter
+//! to the benchmarked kernels: smooth large-scale illumination (so the
+//! Gaussian/Sobel filters see realistic gradients), hard-edged occluding
+//! shapes (so edge detection has edges to find), and per-pixel sensor noise
+//! (so the data is incompressible and threshold masks are irregular).
+
+use crate::image::{Image, Resolution};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Value-noise lattice resolution (cells across the image's short side).
+const NOISE_CELLS: usize = 16;
+
+struct ValueNoise {
+    lattice: Vec<f32>,
+    cols: usize,
+    rows: usize,
+    cell_w: f32,
+    cell_h: f32,
+}
+
+impl ValueNoise {
+    fn new(width: usize, height: usize, rng: &mut StdRng) -> Self {
+        let cols = NOISE_CELLS + 2;
+        let rows = (NOISE_CELLS * height / width.max(1)).max(2) + 2;
+        let lattice = (0..cols * rows).map(|_| rng.gen_range(0.0..1.0)).collect();
+        ValueNoise {
+            lattice,
+            cols,
+            rows,
+            cell_w: width as f32 / (cols - 1) as f32,
+            cell_h: height as f32 / (rows - 1) as f32,
+        }
+    }
+
+    fn at(&self, x: usize, y: usize) -> f32 {
+        let fx = x as f32 / self.cell_w;
+        let fy = y as f32 / self.cell_h;
+        let cx = (fx as usize).min(self.cols - 2);
+        let cy = (fy as usize).min(self.rows - 2);
+        let tx = fx - cx as f32;
+        let ty = fy - cy as f32;
+        // Smoothstep for C1 continuity.
+        let sx = tx * tx * (3.0 - 2.0 * tx);
+        let sy = ty * ty * (3.0 - 2.0 * ty);
+        let v00 = self.lattice[cy * self.cols + cx];
+        let v10 = self.lattice[cy * self.cols + cx + 1];
+        let v01 = self.lattice[(cy + 1) * self.cols + cx];
+        let v11 = self.lattice[(cy + 1) * self.cols + cx + 1];
+        let top = v00 + (v10 - v00) * sx;
+        let bottom = v01 + (v11 - v01) * sx;
+        top + (bottom - top) * sy
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Shape {
+    Disc { cx: f32, cy: f32, r: f32, level: f32 },
+    Rect { x0: f32, y0: f32, x1: f32, y1: f32, level: f32 },
+}
+
+impl Shape {
+    fn sample(&self, x: f32, y: f32) -> Option<f32> {
+        match *self {
+            Shape::Disc { cx, cy, r, level } => {
+                let d2 = (x - cx) * (x - cx) + (y - cy) * (y - cy);
+                (d2 <= r * r).then_some(level)
+            }
+            Shape::Rect {
+                x0,
+                y0,
+                x1,
+                y1,
+                level,
+            } => (x >= x0 && x < x1 && y >= y0 && y < y1).then_some(level),
+        }
+    }
+}
+
+/// Generates a photo-like grayscale image. The same `(width, height, seed)`
+/// always produces the same image.
+pub fn synthetic_image(width: usize, height: usize, seed: u64) -> Image<u8> {
+    let f = synthetic_image_f32(width, height, seed);
+    f.map(|v| v.clamp(0.0, 255.0) as u8)
+}
+
+/// The `f32` master from which [`synthetic_image`] is quantised. Values are
+/// in `[0, 255]` — kernels that need floating-point input (benchmark 1)
+/// consume this directly, optionally rescaled.
+pub fn synthetic_image_f32(width: usize, height: usize, seed: u64) -> Image<f32> {
+    assert!(width > 0 && height > 0, "image must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5397_1D06_3A11_C0DE);
+    let noise = ValueNoise::new(width, height, &mut rng);
+
+    // Illumination: a tilted plane plus a bright spot, like a lit scene.
+    let tilt_x = rng.gen_range(-40.0f32..40.0);
+    let tilt_y = rng.gen_range(-40.0f32..40.0);
+    let base = rng.gen_range(90.0f32..150.0);
+    let spot_x = rng.gen_range(0.2f32..0.8) * width as f32;
+    let spot_y = rng.gen_range(0.2f32..0.8) * height as f32;
+    let spot_r = 0.4 * width.max(height) as f32;
+    let spot_gain = rng.gen_range(30.0f32..70.0);
+
+    // Occluders.
+    let num_shapes = rng.gen_range(6..12);
+    let shapes: Vec<Shape> = (0..num_shapes)
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                Shape::Disc {
+                    cx: rng.gen_range(0.0..width as f32),
+                    cy: rng.gen_range(0.0..height as f32),
+                    r: rng.gen_range(0.03..0.2) * width as f32,
+                    level: rng.gen_range(-80.0..80.0),
+                }
+            } else {
+                let x0 = rng.gen_range(0.0..width as f32 * 0.9);
+                let y0 = rng.gen_range(0.0..height as f32 * 0.9);
+                Shape::Rect {
+                    x0,
+                    y0,
+                    x1: x0 + rng.gen_range(0.05..0.3) * width as f32,
+                    y1: y0 + rng.gen_range(0.05..0.3) * height as f32,
+                    level: rng.gen_range(-80.0..80.0),
+                }
+            }
+        })
+        .collect();
+
+    // Cheap per-pixel noise: xorshift on pixel coordinates mixed with the
+    // seed, avoiding an RNG call per pixel (8 Mpx images).
+    let noise_seed = rng.gen::<u64>() | 1;
+    let pixel_noise = move |x: usize, y: usize| -> f32 {
+        let mut h = (x as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((y as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+            .wrapping_add(noise_seed);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        ((h & 0xFFFF) as f32 / 65535.0 - 0.5) * 12.0
+    };
+
+    let inv_spot_r2 = 1.0 / (spot_r * spot_r);
+    Image::from_fn(width, height, |x, y| {
+        let xf = x as f32;
+        let yf = y as f32;
+        let mut v = base
+            + tilt_x * (xf / width as f32 - 0.5)
+            + tilt_y * (yf / height as f32 - 0.5);
+        let dx = xf - spot_x;
+        let dy = yf - spot_y;
+        let d2 = (dx * dx + dy * dy) * inv_spot_r2;
+        v += spot_gain * (-d2).exp();
+        v += 35.0 * (noise.at(x, y) - 0.5);
+        for shape in &shapes {
+            if let Some(level) = shape.sample(xf, yf) {
+                v += level;
+            }
+        }
+        v += pixel_noise(x, y);
+        v.clamp(0.0, 255.0)
+    })
+}
+
+/// The paper's "5 different images of each resolution".
+pub fn synthetic_suite(res: Resolution, count: usize) -> Vec<Image<u8>> {
+    let (w, h) = res.dims();
+    (0..count)
+        .map(|i| synthetic_image(w, h, 0xBEEF + i as u64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = synthetic_image(64, 48, 7);
+        let b = synthetic_image(64, 48, 7);
+        assert!(a.pixels_eq(&b));
+        let c = synthetic_image(64, 48, 8);
+        assert!(!a.pixels_eq(&c));
+    }
+
+    #[test]
+    fn uses_wide_dynamic_range() {
+        let img = synthetic_image(128, 96, 3);
+        let min = img.iter_pixels().min().unwrap();
+        let max = img.iter_pixels().max().unwrap();
+        assert!(max - min > 100, "range {min}..{max} too narrow");
+    }
+
+    #[test]
+    fn has_edges_and_noise() {
+        // Horizontal gradient magnitude should be non-zero somewhere (edges)
+        // and small-but-nonzero in most places (noise).
+        let img = synthetic_image(128, 96, 11);
+        let mut nonzero = 0usize;
+        let mut strong = 0usize;
+        for y in 0..img.height() {
+            let row = img.row(y);
+            for x in 1..img.width() {
+                let d = (row[x] as i32 - row[x - 1] as i32).abs();
+                if d > 0 {
+                    nonzero += 1;
+                }
+                if d > 40 {
+                    strong += 1;
+                }
+            }
+        }
+        let total = (img.width() - 1) * img.height();
+        assert!(nonzero > total / 2, "too smooth: {nonzero}/{total}");
+        assert!(strong > 0, "no strong edges");
+    }
+
+    #[test]
+    fn threshold_splits_nontrivially() {
+        // A 128 threshold should leave both classes populated — needed for
+        // the threshold benchmark to exercise both branches.
+        let img = synthetic_image(128, 96, 5);
+        let above = img.iter_pixels().filter(|&p| p > 128).count();
+        let total = img.pixels();
+        assert!(above > total / 20, "above = {above}");
+        assert!(above < total * 19 / 20, "above = {above}");
+    }
+
+    #[test]
+    fn f32_master_matches_quantised() {
+        let f = synthetic_image_f32(32, 32, 9);
+        let q = synthetic_image(32, 32, 9);
+        for y in 0..32 {
+            for x in 0..32 {
+                assert_eq!(q.get(x, y), f.get(x, y).clamp(0.0, 255.0) as u8);
+            }
+        }
+    }
+
+    #[test]
+    fn suite_produces_distinct_images() {
+        let suite = synthetic_suite(Resolution::Vga, 5);
+        assert_eq!(suite.len(), 5);
+        for i in 0..5 {
+            assert_eq!(suite[i].width(), 640);
+            for j in (i + 1)..5 {
+                assert!(!suite[i].pixels_eq(&suite[j]), "{i} == {j}");
+            }
+        }
+    }
+}

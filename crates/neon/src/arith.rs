@@ -1,0 +1,413 @@
+//! Arithmetic intrinsics (category *b*): plain, saturating, halving,
+//! widening and multiply-accumulate forms.
+
+use crate::types::*;
+use op_trace::{count, OpClass};
+
+macro_rules! neon_binop {
+    ($(#[$meta:meta])* $name:ident, $t:ty, $method:ident) => {
+        $(#[$meta])*
+        #[inline]
+        pub fn $name(a: $t, b: $t) -> $t {
+            count(OpClass::SimdAlu);
+            a.$method(b)
+        }
+    };
+}
+
+// --- float ---------------------------------------------------------------
+
+neon_binop!(
+    /// `vadd.f32 q` — lane-wise float addition.
+    vaddq_f32, float32x4_t, add
+);
+neon_binop!(
+    /// `vsub.f32 q` — lane-wise float subtraction.
+    vsubq_f32, float32x4_t, sub
+);
+neon_binop!(
+    /// `vmul.f32 q` — lane-wise float multiplication.
+    vmulq_f32, float32x4_t, mul
+);
+neon_binop!(
+    /// `vmin.f32 q` — lane-wise float minimum.
+    vminq_f32, float32x4_t, min
+);
+neon_binop!(
+    /// `vmax.f32 q` — lane-wise float maximum.
+    vmaxq_f32, float32x4_t, max
+);
+neon_binop!(
+    /// `vadd.f32 d` — D-register float addition.
+    vadd_f32, float32x2_t, add
+);
+neon_binop!(
+    /// `vmul.f32 d` — D-register float multiplication.
+    vmul_f32, float32x2_t, mul
+);
+
+/// `vmla.f32 q` — multiply-accumulate: `acc + a*b` (unfused on VFPv3/NEON).
+#[inline]
+pub fn vmlaq_f32(acc: float32x4_t, a: float32x4_t, b: float32x4_t) -> float32x4_t {
+    count(OpClass::SimdAlu);
+    acc.mul_add(a, b)
+}
+
+/// `vmls.f32 q` — multiply-subtract: `acc - a*b`.
+#[inline]
+pub fn vmlsq_f32(acc: float32x4_t, a: float32x4_t, b: float32x4_t) -> float32x4_t {
+    count(OpClass::SimdAlu);
+    acc.sub(a.mul(b))
+}
+
+/// `vmla.f32 q` with a scalar second factor (`vmlaq_n_f32`) — the
+/// convolution workhorse.
+#[inline]
+pub fn vmlaq_n_f32(acc: float32x4_t, a: float32x4_t, b: f32) -> float32x4_t {
+    count(OpClass::SimdAlu);
+    acc.mul_add(a, float32x4_t::splat(b))
+}
+
+/// `vmul.f32 q` with a scalar factor (`vmulq_n_f32`).
+#[inline]
+pub fn vmulq_n_f32(a: float32x4_t, b: f32) -> float32x4_t {
+    count(OpClass::SimdAlu);
+    a.mul(float32x4_t::splat(b))
+}
+
+/// `vabs.f32 q` — lane-wise float absolute value.
+#[inline]
+pub fn vabsq_f32(a: float32x4_t) -> float32x4_t {
+    count(OpClass::SimdAlu);
+    a.abs()
+}
+
+/// `vneg.f32 q` — lane-wise float negation.
+#[inline]
+pub fn vnegq_f32(a: float32x4_t) -> float32x4_t {
+    count(OpClass::SimdAlu);
+    a.neg()
+}
+
+/// `vrecpe.f32 q` — reciprocal estimate (exact in the sim).
+#[inline]
+pub fn vrecpeq_f32(a: float32x4_t) -> float32x4_t {
+    count(OpClass::SimdAlu);
+    a.recip_estimate()
+}
+
+/// `vrecps.f32 q` — Newton-Raphson reciprocal step: `2 - a*b`.
+#[inline]
+pub fn vrecpsq_f32(a: float32x4_t, b: float32x4_t) -> float32x4_t {
+    count(OpClass::SimdAlu);
+    float32x4_t::splat(2.0).sub(a.mul(b))
+}
+
+/// `vrsqrte.f32 q` — reciprocal square-root estimate (exact in the sim).
+#[inline]
+pub fn vrsqrteq_f32(a: float32x4_t) -> float32x4_t {
+    count(OpClass::SimdAlu);
+    a.rsqrt_estimate()
+}
+
+// --- integer: plain wrapping ---------------------------------------------
+
+neon_binop!(
+    /// `vadd.i8 q` — wrapping byte addition.
+    vaddq_u8, uint8x16_t, wrapping_add
+);
+neon_binop!(
+    /// `vsub.i8 q` — wrapping byte subtraction.
+    vsubq_u8, uint8x16_t, wrapping_sub
+);
+neon_binop!(
+    /// `vadd.i16 q` — wrapping halfword addition (signed view).
+    vaddq_s16, int16x8_t, wrapping_add
+);
+neon_binop!(
+    /// `vsub.i16 q` — wrapping halfword subtraction (signed view).
+    vsubq_s16, int16x8_t, wrapping_sub
+);
+neon_binop!(
+    /// `vadd.i16 q` — unsigned halfword addition.
+    vaddq_u16, uint16x8_t, wrapping_add
+);
+neon_binop!(
+    /// `vsub.i16 q` — unsigned halfword subtraction.
+    vsubq_u16, uint16x8_t, wrapping_sub
+);
+neon_binop!(
+    /// `vadd.i32 q` — wrapping word addition.
+    vaddq_s32, int32x4_t, wrapping_add
+);
+neon_binop!(
+    /// `vsub.i32 q` — wrapping word subtraction.
+    vsubq_s32, int32x4_t, wrapping_sub
+);
+neon_binop!(
+    /// `vmul.i16 q` — low half of halfword products.
+    vmulq_s16, int16x8_t, wrapping_mul
+);
+neon_binop!(
+    /// `vmul.i32 q` — low half of word products.
+    vmulq_s32, int32x4_t, wrapping_mul
+);
+
+// --- integer: saturating --------------------------------------------------
+
+neon_binop!(
+    /// `vqadd.u8 q` — saturating unsigned byte addition.
+    vqaddq_u8, uint8x16_t, saturating_add
+);
+neon_binop!(
+    /// `vqsub.u8 q` — saturating unsigned byte subtraction.
+    vqsubq_u8, uint8x16_t, saturating_sub
+);
+neon_binop!(
+    /// `vqadd.s16 q` — saturating signed halfword addition.
+    vqaddq_s16, int16x8_t, saturating_add
+);
+neon_binop!(
+    /// `vqsub.s16 q` — saturating signed halfword subtraction.
+    vqsubq_s16, int16x8_t, saturating_sub
+);
+
+// --- integer: min/max/abs-diff/halving -------------------------------------
+
+neon_binop!(
+    /// `vmin.u8 q` — unsigned byte minimum.
+    vminq_u8, uint8x16_t, min
+);
+neon_binop!(
+    /// `vmax.u8 q` — unsigned byte maximum.
+    vmaxq_u8, uint8x16_t, max
+);
+neon_binop!(
+    /// `vmin.s16 q` — signed halfword minimum.
+    vminq_s16, int16x8_t, min
+);
+neon_binop!(
+    /// `vmax.s16 q` — signed halfword maximum.
+    vmaxq_s16, int16x8_t, max
+);
+neon_binop!(
+    /// `vabd.u8 q` — unsigned byte absolute difference.
+    vabdq_u8, uint8x16_t, abs_diff
+);
+neon_binop!(
+    /// `vhadd.u8 q` — halving add, truncating.
+    vhaddq_u8, uint8x16_t, halving_add
+);
+neon_binop!(
+    /// `vrhadd.u8 q` — halving add, rounding.
+    vrhaddq_u8, uint8x16_t, avg_round
+);
+
+/// `vabs.s16 q` — wrapping absolute value (`|i16::MIN| == i16::MIN`).
+#[inline]
+pub fn vabsq_s16(a: int16x8_t) -> int16x8_t {
+    count(OpClass::SimdAlu);
+    a.abs()
+}
+
+/// `vqabs.s16 q` — saturating absolute value.
+#[inline]
+pub fn vqabsq_s16(a: int16x8_t) -> int16x8_t {
+    count(OpClass::SimdAlu);
+    a.saturating_abs()
+}
+
+/// `vneg.s16 q` — wrapping negation.
+#[inline]
+pub fn vnegq_s16(a: int16x8_t) -> int16x8_t {
+    count(OpClass::SimdAlu);
+    a.neg()
+}
+
+// --- widening arithmetic ----------------------------------------------------
+
+/// `vaddl.u8` — widening byte addition: `u8 + u8 -> u16` per lane.
+#[inline]
+pub fn vaddl_u8(a: uint8x8_t, b: uint8x8_t) -> uint16x8_t {
+    count(OpClass::SimdAlu);
+    a.widen_u16().wrapping_add(b.widen_u16())
+}
+
+/// `vmull.u8` — widening byte multiplication: `u8 * u8 -> u16` per lane.
+#[inline]
+pub fn vmull_u8(a: uint8x8_t, b: uint8x8_t) -> uint16x8_t {
+    count(OpClass::SimdAlu);
+    a.widen_u16().wrapping_mul(b.widen_u16())
+}
+
+/// `vmull.s16` — widening halfword multiplication: `i16 * i16 -> i32`.
+#[inline]
+pub fn vmull_s16(a: int16x4_t, b: int16x4_t) -> int32x4_t {
+    count(OpClass::SimdAlu);
+    a.widen_i32().wrapping_mul(b.widen_i32())
+}
+
+/// `vmlal.s16` — widening multiply-accumulate: `acc + a*b` with `i32`
+/// accumulators. The fixed-point convolution workhorse on NEON.
+#[inline]
+pub fn vmlal_s16(acc: int32x4_t, a: int16x4_t, b: int16x4_t) -> int32x4_t {
+    count(OpClass::SimdAlu);
+    acc.wrapping_add(a.widen_i32().wrapping_mul(b.widen_i32()))
+}
+
+/// `vmlal.u8` — widening byte multiply-accumulate into `u16` lanes.
+#[inline]
+pub fn vmlal_u8(acc: uint16x8_t, a: uint8x8_t, b: uint8x8_t) -> uint16x8_t {
+    count(OpClass::SimdAlu);
+    acc.wrapping_add(a.widen_u16().wrapping_mul(b.widen_u16()))
+}
+
+/// `vmla.i16 q` — non-widening multiply-accumulate on halfwords.
+#[inline]
+pub fn vmlaq_s16(acc: int16x8_t, a: int16x8_t, b: int16x8_t) -> int16x8_t {
+    count(OpClass::SimdAlu);
+    acc.wrapping_add(a.wrapping_mul(b))
+}
+
+/// `vmla.i16 q` with scalar factor (`vmlaq_n_s16`).
+#[inline]
+pub fn vmlaq_n_s16(acc: int16x8_t, a: int16x8_t, b: i16) -> int16x8_t {
+    count(OpClass::SimdAlu);
+    acc.wrapping_add(a.wrapping_mul(int16x8_t::splat(b)))
+}
+
+/// `vpadd.i16 d` — pairwise addition of adjacent lanes across the two
+/// operands.
+#[inline]
+pub fn vpadd_s16(a: int16x4_t, b: int16x4_t) -> int16x4_t {
+    count(OpClass::SimdAlu);
+    int16x4_t::new([
+        a.lane(0).wrapping_add(a.lane(1)),
+        a.lane(2).wrapping_add(a.lane(3)),
+        b.lane(0).wrapping_add(b.lane(1)),
+        b.lane(2).wrapping_add(b.lane(3)),
+    ])
+}
+
+/// `vpaddl.u8 q` — pairwise widening addition: sixteen `u8` lanes to eight
+/// `u16` sums.
+#[inline]
+pub fn vpaddlq_u8(a: uint8x16_t) -> uint16x8_t {
+    count(OpClass::SimdAlu);
+    let v = a.to_array();
+    let mut out = [0u16; 8];
+    for i in 0..8 {
+        out[i] = v[2 * i] as u16 + v[2 * i + 1] as u16;
+    }
+    uint16x8_t::new(out)
+}
+
+/// `vmull.u16` — widening halfword multiplication: `u16 * u16 -> u32`.
+#[inline]
+pub fn vmull_u16(a: uint16x4_t, b: uint16x4_t) -> uint32x4_t {
+    count(OpClass::SimdAlu);
+    a.widen_u32().wrapping_mul(b.widen_u32())
+}
+
+/// `vmlal.u16` — widening halfword multiply-accumulate into `u32` lanes.
+#[inline]
+pub fn vmlal_u16(acc: uint32x4_t, a: uint16x4_t, b: uint16x4_t) -> uint32x4_t {
+    count(OpClass::SimdAlu);
+    acc.wrapping_add(a.widen_u32().wrapping_mul(b.widen_u32()))
+}
+
+/// `vadd.i32 q` — unsigned word addition.
+#[inline]
+pub fn vaddq_u32(a: uint32x4_t, b: uint32x4_t) -> uint32x4_t {
+    count(OpClass::SimdAlu);
+    a.wrapping_add(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load_store::*;
+
+    #[test]
+    fn float_mla_is_unfused_sum() {
+        let acc = vdupq_n_f32(1.0);
+        let a = vdupq_n_f32(2.0);
+        let b = vdupq_n_f32(3.0);
+        assert_eq!(vmlaq_f32(acc, a, b).to_array(), [7.0; 4]);
+        assert_eq!(vmlsq_f32(acc, a, b).to_array(), [-5.0; 4]);
+        assert_eq!(vmlaq_n_f32(acc, a, 3.0).to_array(), [7.0; 4]);
+        assert_eq!(vmulq_n_f32(a, 4.0).to_array(), [8.0; 4]);
+    }
+
+    #[test]
+    fn saturating_u8() {
+        let a = vdupq_n_u8(250);
+        let b = vdupq_n_u8(10);
+        assert_eq!(vqaddq_u8(a, b).lane(0), 255);
+        assert_eq!(vaddq_u8(a, b).lane(0), 4);
+        assert_eq!(vqsubq_u8(b, a).lane(0), 0);
+    }
+
+    #[test]
+    fn widening_mlal_s16() {
+        let acc = vdupq_n_s32(100);
+        let a = int16x4_t::new([1000, -1000, 30000, -30000]);
+        let b = int16x4_t::new([1000, 1000, 2, 2]);
+        let r = vmlal_s16(acc, a, b);
+        assert_eq!(r.to_array(), [1_000_100, -999_900, 60_100, -59_900]);
+    }
+
+    #[test]
+    fn widening_byte_ops() {
+        let a = uint8x8_t::new([200, 100, 50, 25, 10, 5, 2, 1]);
+        let b = uint8x8_t::splat(2);
+        assert_eq!(vaddl_u8(a, b).lane(0), 202);
+        assert_eq!(vmull_u8(a, b).lane(0), 400);
+        let acc = uint16x8_t::splat(1);
+        assert_eq!(vmlal_u8(acc, a, b).lane(0), 401);
+    }
+
+    #[test]
+    fn pairwise_adds() {
+        let a = int16x4_t::new([1, 2, 3, 4]);
+        let b = int16x4_t::new([10, 20, 30, 40]);
+        assert_eq!(vpadd_s16(a, b).to_array(), [3, 7, 30, 70]);
+        let bytes = uint8x16_t::new([1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 255, 255]);
+        assert_eq!(
+            vpaddlq_u8(bytes).to_array(),
+            [3, 7, 11, 15, 19, 23, 27, 510]
+        );
+    }
+
+    #[test]
+    fn abs_variants() {
+        let v = int16x8_t::new([i16::MIN, -5, 5, 0, 1, -1, 100, -100]);
+        assert_eq!(vabsq_s16(v).lane(0), i16::MIN);
+        assert_eq!(vqabsq_s16(v).lane(0), i16::MAX);
+        assert_eq!(vabsq_s16(v).lane(1), 5);
+        assert_eq!(vnegq_s16(v).lane(2), -5);
+    }
+
+    #[test]
+    fn newton_raphson_reciprocal_converges() {
+        // One NR iteration: x1 = x0 * (2 - a*x0) — the idiomatic NEON
+        // reciprocal refinement the docs recommend after vrecpe.
+        let a = vdupq_n_f32(3.0);
+        let x0 = vrecpeq_f32(a);
+        let x1 = vmulq_f32(x0, vrecpsq_f32(a, x0));
+        for lane in x1.to_array() {
+            assert!((lane - 1.0 / 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn minmax_and_abd() {
+        let a = vdupq_n_u8(9);
+        let b = vdupq_n_u8(12);
+        assert_eq!(vminq_u8(a, b).lane(0), 9);
+        assert_eq!(vmaxq_u8(a, b).lane(0), 12);
+        assert_eq!(vabdq_u8(a, b).lane(0), 3);
+        assert_eq!(vhaddq_u8(a, b).lane(0), 10); // (9+12)/2 trunc
+        assert_eq!(vrhaddq_u8(a, b).lane(0), 11); // rounding
+    }
+}

@@ -1,0 +1,173 @@
+//! Compare intrinsics (category *d*). NEON compares return an *unsigned*
+//! mask vector of the same lane width, all-ones for true.
+
+use crate::types::*;
+use op_trace::{count, OpClass};
+
+macro_rules! neon_cmp {
+    ($(#[$meta:meta])* $name:ident, $t:ty, $mask:ty, $method:ident) => {
+        $(#[$meta])*
+        #[inline]
+        pub fn $name(a: $t, b: $t) -> $mask {
+            count(OpClass::SimdAlu);
+            a.$method(b)
+        }
+    };
+}
+
+// Unsigned byte compares (used by the threshold kernel).
+neon_cmp!(
+    /// `vcgt.u8 q` — `a > b` mask.
+    vcgtq_u8, uint8x16_t, uint8x16_t, cmp_gt
+);
+neon_cmp!(
+    /// `vcge.u8 q` — `a >= b` mask.
+    vcgeq_u8, uint8x16_t, uint8x16_t, cmp_ge
+);
+neon_cmp!(
+    /// `vclt.u8 q` — `a < b` mask.
+    vcltq_u8, uint8x16_t, uint8x16_t, cmp_lt
+);
+neon_cmp!(
+    /// `vcle.u8 q` — `a <= b` mask.
+    vcleq_u8, uint8x16_t, uint8x16_t, cmp_le
+);
+neon_cmp!(
+    /// `vceq.i8 q` — equality mask on bytes.
+    vceqq_u8, uint8x16_t, uint8x16_t, cmp_eq
+);
+
+// Signed halfword compares.
+neon_cmp!(
+    /// `vcgt.s16 q` — signed `a > b` mask.
+    vcgtq_s16, int16x8_t, uint16x8_t, cmp_gt
+);
+neon_cmp!(
+    /// `vcge.s16 q` — signed `a >= b` mask.
+    vcgeq_s16, int16x8_t, uint16x8_t, cmp_ge
+);
+neon_cmp!(
+    /// `vclt.s16 q` — signed `a < b` mask.
+    vcltq_s16, int16x8_t, uint16x8_t, cmp_lt
+);
+neon_cmp!(
+    /// `vceq.i16 q` — equality mask on halfwords.
+    vceqq_s16, int16x8_t, uint16x8_t, cmp_eq
+);
+
+// Signed word compares.
+neon_cmp!(
+    /// `vcgt.s32 q` — signed `a > b` mask.
+    vcgtq_s32, int32x4_t, uint32x4_t, cmp_gt
+);
+neon_cmp!(
+    /// `vceq.i32 q` — equality mask on words.
+    vceqq_s32, int32x4_t, uint32x4_t, cmp_eq
+);
+
+// Float compares.
+neon_cmp!(
+    /// `vcgt.f32 q` — float `a > b` mask (NaN compares false).
+    vcgtq_f32, float32x4_t, uint32x4_t, cmp_gt
+);
+neon_cmp!(
+    /// `vcge.f32 q` — float `a >= b` mask.
+    vcgeq_f32, float32x4_t, uint32x4_t, cmp_ge
+);
+neon_cmp!(
+    /// `vclt.f32 q` — float `a < b` mask.
+    vcltq_f32, float32x4_t, uint32x4_t, cmp_lt
+);
+neon_cmp!(
+    /// `vcle.f32 q` — float `a <= b` mask.
+    vcleq_f32, float32x4_t, uint32x4_t, cmp_le
+);
+neon_cmp!(
+    /// `vceq.f32 q` — float equality mask.
+    vceqq_f32, float32x4_t, uint32x4_t, cmp_eq
+);
+
+/// `vacgt.f32 q` — absolute greater-than: `|a| > |b|` (the paper notes NEON
+/// has absolute-value compares that SSE2 lacks).
+#[inline]
+pub fn vacgtq_f32(a: float32x4_t, b: float32x4_t) -> uint32x4_t {
+    count(OpClass::SimdAlu);
+    a.abs().cmp_gt(b.abs())
+}
+
+/// `vacge.f32 q` — absolute greater-or-equal: `|a| >= |b|`.
+#[inline]
+pub fn vacgeq_f32(a: float32x4_t, b: float32x4_t) -> uint32x4_t {
+    count(OpClass::SimdAlu);
+    a.abs().cmp_ge(b.abs())
+}
+
+/// `vtst.8 q` — test-bits mask: all-ones where `a & b != 0`.
+#[inline]
+pub fn vtstq_u8(a: uint8x16_t, b: uint8x16_t) -> uint8x16_t {
+    count(OpClass::SimdAlu);
+    a.zip(b, |x, y| if x & y != 0 { 0xFF } else { 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load_store::*;
+
+    #[test]
+    fn unsigned_byte_compares() {
+        let a = uint8x16_t::new([0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]);
+        let t = vdupq_n_u8(7);
+        let gt = vcgtq_u8(a, t);
+        for i in 0..16 {
+            assert_eq!(gt.lane(i), if i > 7 { 0xFF } else { 0x00 });
+        }
+        assert_eq!(vcgeq_u8(a, t).lane(7), 0xFF);
+        assert_eq!(vcltq_u8(a, t).lane(6), 0xFF);
+        assert_eq!(vcleq_u8(a, t).lane(7), 0xFF);
+        assert_eq!(vceqq_u8(a, t).lane(7), 0xFF);
+        assert_eq!(vceqq_u8(a, t).lane(8), 0x00);
+    }
+
+    #[test]
+    fn signed_compares_respect_sign() {
+        let a = vdupq_n_s16(-5);
+        let b = vdupq_n_s16(3);
+        assert_eq!(vcgtq_s16(b, a).lane(0), 0xFFFF);
+        assert_eq!(vcgtq_s16(a, b).lane(0), 0);
+        assert_eq!(vcltq_s16(a, b).lane(0), 0xFFFF);
+        let c = vdupq_n_s32(-1);
+        let d = vdupq_n_s32(1);
+        assert_eq!(vcgtq_s32(d, c).lane(0), u32::MAX);
+    }
+
+    #[test]
+    fn float_compares_and_nan() {
+        let a = float32x4_t::new([1.0, f32::NAN, 3.0, 4.0]);
+        let b = vdupq_n_f32(2.0);
+        let gt = vcgtq_f32(a, b);
+        assert_eq!(gt.to_array(), [0, 0, u32::MAX, u32::MAX]);
+        let le = vcleq_f32(a, b);
+        assert_eq!(le.to_array(), [u32::MAX, 0, 0, 0]);
+    }
+
+    #[test]
+    fn absolute_compares() {
+        let a = float32x4_t::new([-5.0, 1.0, -2.0, 2.0]);
+        let b = float32x4_t::new([4.0, -3.0, 2.0, -2.0]);
+        assert_eq!(vacgtq_f32(a, b).to_array(), [u32::MAX, 0, 0, 0]);
+        assert_eq!(
+            vacgeq_f32(a, b).to_array(),
+            [u32::MAX, 0, u32::MAX, u32::MAX]
+        );
+    }
+
+    #[test]
+    fn test_bits() {
+        let a = vdupq_n_u8(0b0101);
+        let b = vdupq_n_u8(0b0100);
+        let c = vdupq_n_u8(0b1010);
+        assert_eq!(vtstq_u8(a, b).lane(0), 0xFF);
+        assert_eq!(vtstq_u8(a, c).lane(0), 0x00);
+    }
+}

@@ -1,0 +1,150 @@
+//! Conversion intrinsics (category *f*).
+
+use crate::types::*;
+use op_trace::{count, OpClass};
+
+/// `vcvt.s32.f32 q` — float to signed word, **truncating toward zero**
+/// (the only rounding ARMv7 NEON offers; saturates out-of-range, NaN → 0).
+///
+/// This is the conversion the paper's NEON listing uses. Note it rounds
+/// differently from scalar `cvRound`; see the crate docs and
+/// [`vcvtnq_s32_f32`].
+#[inline]
+pub fn vcvtq_s32_f32(a: float32x4_t) -> int32x4_t {
+    count(OpClass::SimdConvert);
+    a.to_i32_truncate()
+}
+
+/// ARMv8 `fcvtns` — float to signed word, rounding to nearest, ties to
+/// even, saturating. Matches `_mm_cvtps_epi32` for all in-range inputs.
+#[inline]
+pub fn vcvtnq_s32_f32(a: float32x4_t) -> int32x4_t {
+    count(OpClass::SimdConvert);
+    a.to_i32_round()
+}
+
+/// `vcvt.f32.s32 q` — signed word to float.
+#[inline]
+pub fn vcvtq_f32_s32(a: int32x4_t) -> float32x4_t {
+    count(OpClass::SimdConvert);
+    a.to_f32()
+}
+
+/// `vcvt.f32.u32 q` — unsigned word to float.
+#[inline]
+pub fn vcvtq_f32_u32(a: uint32x4_t) -> float32x4_t {
+    count(OpClass::SimdConvert);
+    a.to_f32()
+}
+
+/// `vcvt.u32.f32 q` — float to unsigned word, truncating, saturating at 0
+/// and `u32::MAX`; NaN → 0.
+#[inline]
+pub fn vcvtq_u32_f32(a: float32x4_t) -> uint32x4_t {
+    count(OpClass::SimdConvert);
+    a.map(|v| {
+        if v.is_nan() {
+            0.0
+        } else {
+            v
+        }
+    })
+    .to_array()
+    .map(|v| {
+        if v <= 0.0 {
+            0u32
+        } else if v >= u32::MAX as f32 {
+            u32::MAX
+        } else {
+            v as u32
+        }
+    })
+    .into()
+}
+
+/// `vcvt.f32.s32 q, #n` — fixed-point word to float with `n` fractional
+/// bits.
+#[inline]
+pub fn vcvtq_n_f32_s32(a: int32x4_t, n: u32) -> float32x4_t {
+    count(OpClass::SimdConvert);
+    let scale = 1.0 / (1u64 << n) as f32;
+    a.to_f32().mul(float32x4_t::splat(scale))
+}
+
+/// `vcvt.s32.f32 q, #n` — float to fixed-point word with `n` fractional
+/// bits (truncating).
+#[inline]
+pub fn vcvtq_n_s32_f32(a: float32x4_t, n: u32) -> int32x4_t {
+    count(OpClass::SimdConvert);
+    let scale = (1u64 << n) as f32;
+    a.mul(float32x4_t::splat(scale)).to_i32_truncate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load_store::*;
+
+    #[test]
+    fn vcvt_truncates_toward_zero() {
+        let v = float32x4_t::new([1.9, -1.9, 0.5, -0.5]);
+        assert_eq!(vcvtq_s32_f32(v).to_array(), [1, -1, 0, 0]);
+    }
+
+    #[test]
+    fn vcvtn_rounds_ties_to_even() {
+        let v = float32x4_t::new([0.5, 1.5, 2.5, -2.5]);
+        assert_eq!(vcvtnq_s32_f32(v).to_array(), [0, 2, 2, -2]);
+    }
+
+    #[test]
+    fn neon_saturates_where_sse_goes_indefinite() {
+        let v = float32x4_t::new([3e9, -3e9, f32::NAN, 7.0]);
+        assert_eq!(
+            vcvtq_s32_f32(v).to_array(),
+            [i32::MAX, i32::MIN, 0, 7]
+        );
+        assert_eq!(
+            vcvtnq_s32_f32(v).to_array(),
+            [i32::MAX, i32::MIN, 0, 7]
+        );
+    }
+
+    #[test]
+    fn unsigned_conversion_clamps_at_zero() {
+        let v = float32x4_t::new([-5.0, 0.9, 255.9, 5e9]);
+        assert_eq!(vcvtq_u32_f32(v).to_array(), [0, 0, 255, u32::MAX]);
+        assert_eq!(vcvtq_u32_f32(vdupq_n_f32(f32::NAN)).lane(0), 0);
+    }
+
+    #[test]
+    fn int_to_float() {
+        assert_eq!(
+            vcvtq_f32_s32(vdupq_n_s32(-42)).to_array(),
+            [-42.0; 4]
+        );
+        assert_eq!(
+            vcvtq_f32_u32(vdupq_n_u32(42)).to_array(),
+            [42.0; 4]
+        );
+    }
+
+    #[test]
+    fn fixed_point_conversions() {
+        // 1.5 in Q8 fixed point = 384.
+        let fx = vcvtq_n_s32_f32(vdupq_n_f32(1.5), 8);
+        assert_eq!(fx.to_array(), [384; 4]);
+        let back = vcvtq_n_f32_s32(fx, 8);
+        assert_eq!(back.to_array(), [1.5; 4]);
+    }
+
+    #[test]
+    fn conversions_count_as_simd_convert() {
+        let (_, mix) = op_trace::trace(|| {
+            let v = vdupq_n_f32(1.0);
+            let _ = vcvtq_s32_f32(v);
+            let _ = vcvtnq_s32_f32(v);
+        });
+        assert_eq!(mix.get(op_trace::OpClass::SimdConvert), 2);
+    }
+}

@@ -1,0 +1,49 @@
+//! Software implementation of the ARMv7 NEON (Advanced SIMD) intrinsic
+//! surface.
+//!
+//! Every public function mirrors one NEON intrinsic from `arm_neon.h` —
+//! same name, same lane semantics per the ARM Architecture Reference Manual
+//! (DDI 0406). Memory intrinsics take slices instead of raw pointers (length
+//! checked), which is the only signature deviation.
+//!
+//! This crate is the substitution for the paper's six ARM boards: on an
+//! x86_64 host the NEON HAND kernels execute bit-exactly through these
+//! functions, every call records a micro-op via [`op_trace`] for the Section
+//! V instruction-mix analysis, and the cross-ISA test-suite proves the
+//! identities the paper relies on (e.g. `vcombine_s16(vqmovn_s32(lo),
+//! vqmovn_s32(hi)) == _mm_packs_epi32(lo, hi)`).
+//!
+//! Naming follows the paper's Section II-C: `[intrin_op][flags]_[type]`,
+//! where the `q` flag denotes the 128-bit Q-register form.
+//!
+//! One ARMv8 addition is provided: [`vcvtnq_s32_f32`] (round to nearest,
+//! ties to even). The ARMv7 `vcvtq_s32_f32` truncates toward zero, which
+//! silently changes rounding relative to the scalar `cvRound` code — the
+//! paper's listing has this discrepancy. The kernel crate uses the rounding
+//! variant so that all backends are bit-exact; DESIGN.md documents this.
+
+#![allow(non_camel_case_types)]
+#![warn(missing_docs)]
+// Lane-indexed `for i in 0..N` loops intentionally mirror the per-lane
+// pseudocode of the architecture reference manuals.
+#![allow(clippy::needless_range_loop)]
+
+pub mod arith;
+pub mod compare;
+pub mod convert;
+pub mod load_store;
+pub mod logical;
+pub mod misc;
+pub mod narrow;
+pub mod shift;
+pub mod types;
+
+pub use arith::*;
+pub use compare::*;
+pub use convert::*;
+pub use load_store::*;
+pub use logical::*;
+pub use misc::*;
+pub use narrow::*;
+pub use shift::*;
+pub use types::*;

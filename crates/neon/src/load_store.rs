@@ -1,0 +1,435 @@
+//! Data-movement intrinsics: `vld1`/`vst1` (plus the structured `vld2`/
+//! `vld3` de-interleaving forms), `vdup`, `vcombine`, `vget_low`/`vget_high`.
+
+use crate::types::*;
+use op_trace::{count, OpClass};
+
+macro_rules! vld1 {
+    ($(#[$meta:meta])* $name:ident, $t:ty, $elem:ty) => {
+        $(#[$meta])*
+        #[inline]
+        #[track_caller]
+        pub fn $name(src: &[$elem]) -> $t {
+            count(OpClass::SimdLoad);
+            <$t>::load(src)
+        }
+    };
+}
+
+macro_rules! vst1 {
+    ($(#[$meta:meta])* $name:ident, $t:ty, $elem:ty) => {
+        $(#[$meta])*
+        #[inline]
+        #[track_caller]
+        pub fn $name(dst: &mut [$elem], v: $t) {
+            count(OpClass::SimdStore);
+            v.store(dst);
+        }
+    };
+}
+
+// Q-register loads/stores.
+vld1!(
+    /// `vld1.32 {q}` — loads four floats (the paper's benchmark-1 load).
+    vld1q_f32, float32x4_t, f32
+);
+vld1!(
+    /// `vld1.8 {q}` — loads sixteen unsigned bytes.
+    vld1q_u8, uint8x16_t, u8
+);
+vld1!(
+    /// `vld1.8 {q}` — loads sixteen signed bytes.
+    vld1q_s8, int8x16_t, i8
+);
+vld1!(
+    /// `vld1.16 {q}` — loads eight signed halfwords.
+    vld1q_s16, int16x8_t, i16
+);
+vld1!(
+    /// `vld1.16 {q}` — loads eight unsigned halfwords.
+    vld1q_u16, uint16x8_t, u16
+);
+vld1!(
+    /// `vld1.32 {q}` — loads four signed words.
+    vld1q_s32, int32x4_t, i32
+);
+vld1!(
+    /// `vld1.32 {q}` — loads four unsigned words.
+    vld1q_u32, uint32x4_t, u32
+);
+vst1!(
+    /// `vst1.32 {q}` — stores four floats.
+    vst1q_f32, float32x4_t, f32
+);
+vst1!(
+    /// `vst1.8 {q}` — stores sixteen unsigned bytes.
+    vst1q_u8, uint8x16_t, u8
+);
+vst1!(
+    /// `vst1.16 {q}` — stores eight signed halfwords (the paper's
+    /// benchmark-1 store).
+    vst1q_s16, int16x8_t, i16
+);
+vst1!(
+    /// `vst1.16 {q}` — stores eight unsigned halfwords.
+    vst1q_u16, uint16x8_t, u16
+);
+vst1!(
+    /// `vst1.32 {q}` — stores four signed words.
+    vst1q_s32, int32x4_t, i32
+);
+
+// D-register loads/stores.
+vld1!(
+    /// `vld1.32 {d}` — loads two floats.
+    vld1_f32, float32x2_t, f32
+);
+vld1!(
+    /// `vld1.8 {d}` — loads eight unsigned bytes.
+    vld1_u8, uint8x8_t, u8
+);
+vld1!(
+    /// `vld1.16 {d}` — loads four signed halfwords.
+    vld1_s16, int16x4_t, i16
+);
+vld1!(
+    /// `vld1.16 {d}` — loads four unsigned halfwords.
+    vld1_u16, uint16x4_t, u16
+);
+vst1!(
+    /// `vst1.8 {d}` — stores eight unsigned bytes.
+    vst1_u8, uint8x8_t, u8
+);
+vst1!(
+    /// `vst1.16 {d}` — stores four signed halfwords.
+    vst1_s16, int16x4_t, i16
+);
+vst1!(
+    /// `vst1.32 {d}` — stores two floats.
+    vst1_f32, float32x2_t, f32
+);
+
+/// `vld2.8 {d,d}` — loads sixteen bytes, de-interleaving even/odd elements
+/// into two D registers (the NEON "load/store between arrays of vectors"
+/// feature the paper highlights in category *a*).
+#[inline]
+#[track_caller]
+pub fn vld2_u8(src: &[u8]) -> uint8x8x2_t {
+    count(OpClass::SimdLoad);
+    let mut even = [0u8; 8];
+    let mut odd = [0u8; 8];
+    for i in 0..8 {
+        even[i] = src[2 * i];
+        odd[i] = src[2 * i + 1];
+    }
+    uint8x8x2_t {
+        val: [uint8x8_t::new(even), uint8x8_t::new(odd)],
+    }
+}
+
+/// `vld2.8 {q,q}` — loads 32 bytes, de-interleaving into two Q registers.
+#[inline]
+#[track_caller]
+pub fn vld2q_u8(src: &[u8]) -> uint8x16x2_t {
+    count(OpClass::SimdLoad);
+    let mut even = [0u8; 16];
+    let mut odd = [0u8; 16];
+    for i in 0..16 {
+        even[i] = src[2 * i];
+        odd[i] = src[2 * i + 1];
+    }
+    uint8x16x2_t {
+        val: [uint8x16_t::new(even), uint8x16_t::new(odd)],
+    }
+}
+
+/// `vld3.8 {q,q,q}` — loads 48 bytes, de-interleaving a 3-channel stream
+/// (e.g. packed RGB) into three Q registers.
+#[inline]
+#[track_caller]
+pub fn vld3q_u8(src: &[u8]) -> uint8x16x3_t {
+    count(OpClass::SimdLoad);
+    let mut c0 = [0u8; 16];
+    let mut c1 = [0u8; 16];
+    let mut c2 = [0u8; 16];
+    for i in 0..16 {
+        c0[i] = src[3 * i];
+        c1[i] = src[3 * i + 1];
+        c2[i] = src[3 * i + 2];
+    }
+    uint8x16x3_t {
+        val: [
+            uint8x16_t::new(c0),
+            uint8x16_t::new(c1),
+            uint8x16_t::new(c2),
+        ],
+    }
+}
+
+/// `vst2.8 {d,d}` — interleaves two D registers back into memory.
+#[inline]
+#[track_caller]
+pub fn vst2_u8(dst: &mut [u8], v: uint8x8x2_t) {
+    count(OpClass::SimdStore);
+    for i in 0..8 {
+        dst[2 * i] = v.val[0].lane(i);
+        dst[2 * i + 1] = v.val[1].lane(i);
+    }
+}
+
+macro_rules! vdup {
+    ($(#[$meta:meta])* $name:ident, $t:ty, $elem:ty) => {
+        $(#[$meta])*
+        #[inline]
+        pub fn $name(v: $elem) -> $t {
+            count(OpClass::SimdAlu);
+            <$t>::splat(v)
+        }
+    };
+}
+
+vdup!(
+    /// `vdup.32 q` — broadcasts a float to four lanes.
+    vdupq_n_f32, float32x4_t, f32
+);
+vdup!(
+    /// `vdup.8 q` — broadcasts a byte to sixteen lanes.
+    vdupq_n_u8, uint8x16_t, u8
+);
+vdup!(
+    /// `vdup.8 q` — broadcasts a signed byte.
+    vdupq_n_s8, int8x16_t, i8
+);
+vdup!(
+    /// `vdup.16 q` — broadcasts a signed halfword.
+    vdupq_n_s16, int16x8_t, i16
+);
+vdup!(
+    /// `vdup.16 q` — broadcasts an unsigned halfword.
+    vdupq_n_u16, uint16x8_t, u16
+);
+vdup!(
+    /// `vdup.32 q` — broadcasts a signed word.
+    vdupq_n_s32, int32x4_t, i32
+);
+vdup!(
+    /// `vdup.32 q` — broadcasts an unsigned word.
+    vdupq_n_u32, uint32x4_t, u32
+);
+vdup!(
+    /// `vdup.32 d` — broadcasts a float to two lanes.
+    vdup_n_f32, float32x2_t, f32
+);
+vdup!(
+    /// `vdup.8 d` — broadcasts a byte to eight lanes.
+    vdup_n_u8, uint8x8_t, u8
+);
+vdup!(
+    /// `vdup.16 d` — broadcasts a signed halfword to four lanes.
+    vdup_n_s16, int16x4_t, i16
+);
+
+/// `vmov.32 q` alias used by older code (`vmovq_n_f32 == vdupq_n_f32`).
+#[inline]
+pub fn vmovq_n_f32(v: f32) -> float32x4_t {
+    vdupq_n_f32(v)
+}
+
+macro_rules! vcombine {
+    ($(#[$meta:meta])* $name:ident, $q:ty, $d:ty) => {
+        $(#[$meta])*
+        #[inline]
+        pub fn $name(low: $d, high: $d) -> $q {
+            count(OpClass::SimdAlu);
+            <$q>::combine(low, high)
+        }
+    };
+}
+
+vcombine!(
+    /// `vcombine.16` — joins two D registers into one Q register (the
+    /// benchmark-1 pack step; gcc lowers it to `vorr` per the paper's
+    /// listing).
+    ///
+    /// ```
+    /// use neon_sim::{vcombine_s16, types::int16x4_t};
+    /// let lo = int16x4_t::new([1, 2, 3, 4]);
+    /// let hi = int16x4_t::new([5, 6, 7, 8]);
+    /// assert_eq!(vcombine_s16(lo, hi).to_array(), [1, 2, 3, 4, 5, 6, 7, 8]);
+    /// ```
+    vcombine_s16, int16x8_t, int16x4_t
+);
+vcombine!(
+    /// `vcombine.16` — unsigned halfword form.
+    vcombine_u16, uint16x8_t, uint16x4_t
+);
+vcombine!(
+    /// `vcombine.8` — unsigned byte form.
+    vcombine_u8, uint8x16_t, uint8x8_t
+);
+vcombine!(
+    /// `vcombine.32` — signed word form.
+    vcombine_s32, int32x4_t, int32x2_t
+);
+vcombine!(
+    /// `vcombine.32` — float form.
+    vcombine_f32, float32x4_t, float32x2_t
+);
+
+macro_rules! vget_halves {
+    ($(#[$meta_lo:meta])* $lo:ident, $(#[$meta_hi:meta])* $hi:ident, $q:ty, $d:ty) => {
+        $(#[$meta_lo])*
+        #[inline]
+        pub fn $lo(v: $q) -> $d {
+            count(OpClass::SimdAlu);
+            v.low()
+        }
+
+        $(#[$meta_hi])*
+        #[inline]
+        pub fn $hi(v: $q) -> $d {
+            count(OpClass::SimdAlu);
+            v.high()
+        }
+    };
+}
+
+vget_halves!(
+    /// `vget_low.16` — the low D half of a Q register.
+    vget_low_s16,
+    /// `vget_high.16` — the high D half of a Q register.
+    vget_high_s16,
+    int16x8_t,
+    int16x4_t
+);
+vget_halves!(
+    /// `vget_low.16` — unsigned halfword form.
+    vget_low_u16,
+    /// `vget_high.16` — unsigned halfword form.
+    vget_high_u16,
+    uint16x8_t,
+    uint16x4_t
+);
+vget_halves!(
+    /// `vget_low.8` — unsigned byte form.
+    vget_low_u8,
+    /// `vget_high.8` — unsigned byte form.
+    vget_high_u8,
+    uint8x16_t,
+    uint8x8_t
+);
+vget_halves!(
+    /// `vget_low.32` — signed word form.
+    vget_low_s32,
+    /// `vget_high.32` — signed word form.
+    vget_high_s32,
+    int32x4_t,
+    int32x2_t
+);
+vget_halves!(
+    /// `vget_low.32` — float form.
+    vget_low_f32,
+    /// `vget_high.32` — float form.
+    vget_high_f32,
+    float32x4_t,
+    float32x2_t
+);
+
+/// `vgetq_lane.32` — extracts one float lane (lane index is a constant on
+/// hardware; here a checked argument).
+#[inline]
+pub fn vgetq_lane_f32(v: float32x4_t, lane: usize) -> f32 {
+    count(OpClass::SimdAlu);
+    v.lane(lane)
+}
+
+/// `vgetq_lane.16` — extracts one signed halfword lane.
+#[inline]
+pub fn vgetq_lane_s16(v: int16x8_t, lane: usize) -> i16 {
+    count(OpClass::SimdAlu);
+    v.lane(lane)
+}
+
+/// `vsetq_lane.32` — replaces one float lane.
+#[inline]
+pub fn vsetq_lane_f32(value: f32, v: float32x4_t, lane: usize) -> float32x4_t {
+    count(OpClass::SimdAlu);
+    v.with_lane(lane, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vld1q_vst1q_roundtrip() {
+        let src = [1.5f32, 2.5, 3.5, 4.5, 5.5];
+        let v = vld1q_f32(&src[1..]);
+        assert_eq!(v.to_array(), [2.5, 3.5, 4.5, 5.5]);
+        let mut dst = [0f32; 4];
+        vst1q_f32(&mut dst, v);
+        assert_eq!(dst, [2.5, 3.5, 4.5, 5.5]);
+    }
+
+    #[test]
+    fn vdup_broadcasts() {
+        assert_eq!(vdupq_n_u8(9).to_array(), [9; 16]);
+        assert_eq!(vdupq_n_s16(-2).to_array(), [-2; 8]);
+        assert_eq!(vdup_n_f32(1.25).to_array(), [1.25; 2]);
+        assert_eq!(vmovq_n_f32(3.0), vdupq_n_f32(3.0));
+    }
+
+    #[test]
+    fn combine_and_get_halves() {
+        let lo = int16x4_t::new([1, 2, 3, 4]);
+        let hi = int16x4_t::new([5, 6, 7, 8]);
+        let q = vcombine_s16(lo, hi);
+        assert_eq!(q.to_array(), [1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(vget_low_s16(q), lo);
+        assert_eq!(vget_high_s16(q), hi);
+    }
+
+    #[test]
+    fn vld2_deinterleaves() {
+        let src: Vec<u8> = (0..16).collect();
+        let pair = vld2_u8(&src);
+        assert_eq!(pair.val[0].to_array(), [0, 2, 4, 6, 8, 10, 12, 14]);
+        assert_eq!(pair.val[1].to_array(), [1, 3, 5, 7, 9, 11, 13, 15]);
+        let mut dst = vec![0u8; 16];
+        vst2_u8(&mut dst, pair);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn vld3_splits_rgb() {
+        let mut src = vec![0u8; 48];
+        for px in 0..16 {
+            src[3 * px] = 10; // R
+            src[3 * px + 1] = 20; // G
+            src[3 * px + 2] = 30; // B
+        }
+        let rgb = vld3q_u8(&src);
+        assert_eq!(rgb.val[0].to_array(), [10; 16]);
+        assert_eq!(rgb.val[1].to_array(), [20; 16]);
+        assert_eq!(rgb.val[2].to_array(), [30; 16]);
+    }
+
+    #[test]
+    fn lane_accessors() {
+        let v = float32x4_t::new([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(vgetq_lane_f32(v, 2), 3.0);
+        let w = vsetq_lane_f32(9.0, v, 1);
+        assert_eq!(w.to_array(), [1.0, 9.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn loads_count_ops() {
+        let (_, mix) = op_trace::trace(|| {
+            let v = vld1q_f32(&[1.0, 2.0, 3.0, 4.0]);
+            let mut out = [0f32; 4];
+            vst1q_f32(&mut out, v);
+        });
+        assert_eq!(mix.get(OpClass::SimdLoad), 1);
+        assert_eq!(mix.get(OpClass::SimdStore), 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! Logical intrinsics (category *c*): AND/OR/XOR plus the NEON-specific
+//! NOT, bit-clear, OR-complement and bitwise-select forms the paper lists.
+
+use crate::types::*;
+use op_trace::{count, OpClass};
+use simd_vector::cast::reinterpret128;
+
+macro_rules! neon_logic {
+    ($(#[$meta:meta])* $name:ident, $t:ty, $method:ident) => {
+        $(#[$meta])*
+        #[inline]
+        pub fn $name(a: $t, b: $t) -> $t {
+            count(OpClass::SimdAlu);
+            a.$method(b)
+        }
+    };
+}
+
+neon_logic!(
+    /// `vand q` — bitwise AND on bytes.
+    vandq_u8, uint8x16_t, and
+);
+neon_logic!(
+    /// `vorr q` — bitwise OR on bytes (also gcc's lowering of
+    /// `vcombine_s16`, per the paper's disassembly).
+    vorrq_u8, uint8x16_t, or
+);
+neon_logic!(
+    /// `veor q` — bitwise XOR on bytes.
+    veorq_u8, uint8x16_t, xor
+);
+neon_logic!(
+    /// `vbic q` — bit clear: `a & !b`.
+    vbicq_u8, uint8x16_t, bic
+);
+neon_logic!(
+    /// `vand q` — bitwise AND on halfwords.
+    vandq_u16, uint16x8_t, and
+);
+neon_logic!(
+    /// `vorr q` — bitwise OR on halfwords.
+    vorrq_u16, uint16x8_t, or
+);
+neon_logic!(
+    /// `vand q` — bitwise AND on words.
+    vandq_u32, uint32x4_t, and
+);
+neon_logic!(
+    /// `vorr q` — bitwise OR on words.
+    vorrq_u32, uint32x4_t, or
+);
+neon_logic!(
+    /// `veor q` — bitwise XOR on words.
+    veorq_u32, uint32x4_t, xor
+);
+neon_logic!(
+    /// `vand q` — bitwise AND on signed halfwords.
+    vandq_s16, int16x8_t, and
+);
+neon_logic!(
+    /// `vorr q` — bitwise OR on signed halfwords.
+    vorrq_s16, int16x8_t, or
+);
+
+/// `vmvn q` — bitwise NOT on bytes.
+#[inline]
+pub fn vmvnq_u8(a: uint8x16_t) -> uint8x16_t {
+    count(OpClass::SimdAlu);
+    a.not()
+}
+
+/// `vmvn q` — bitwise NOT on halfwords.
+#[inline]
+pub fn vmvnq_u16(a: uint16x8_t) -> uint16x8_t {
+    count(OpClass::SimdAlu);
+    a.not()
+}
+
+/// `vorn q` — OR complement: `a | !b`.
+#[inline]
+pub fn vornq_u8(a: uint8x16_t, b: uint8x16_t) -> uint8x16_t {
+    count(OpClass::SimdAlu);
+    a.or(b.not())
+}
+
+/// `vbsl q` (bytes) — bitwise select: per *bit*, takes from `a` where the
+/// mask bit is set, else from `b`. The threshold kernel's core operation.
+///
+/// ```
+/// use neon_sim::{vbslq_u8, vcgtq_u8, vdupq_n_u8};
+/// let src = vdupq_n_u8(200);
+/// let mask = vcgtq_u8(src, vdupq_n_u8(128)); // src > 128 ?
+/// let out = vbslq_u8(mask, vdupq_n_u8(255), vdupq_n_u8(0));
+/// assert_eq!(out.to_array(), [255u8; 16]);
+/// ```
+#[inline]
+pub fn vbslq_u8(mask: uint8x16_t, a: uint8x16_t, b: uint8x16_t) -> uint8x16_t {
+    count(OpClass::SimdAlu);
+    mask.bitselect(a, b)
+}
+
+/// `vbsl q` (halfwords) — bitwise select with a `u16` mask over signed data.
+#[inline]
+pub fn vbslq_s16(mask: uint16x8_t, a: int16x8_t, b: int16x8_t) -> int16x8_t {
+    count(OpClass::SimdAlu);
+    let sel = mask.bitselect(reinterpret128(a), reinterpret128(b));
+    reinterpret128(sel)
+}
+
+/// `vbsl q` (floats) — bitwise select with a `u32` mask over float data.
+#[inline]
+pub fn vbslq_f32(mask: uint32x4_t, a: float32x4_t, b: float32x4_t) -> float32x4_t {
+    count(OpClass::SimdAlu);
+    let sel = mask.bitselect(reinterpret128(a), reinterpret128(b));
+    reinterpret128(sel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compare::*;
+    use crate::load_store::*;
+
+    #[test]
+    fn basic_logic() {
+        let a = vdupq_n_u8(0b1100);
+        let b = vdupq_n_u8(0b1010);
+        assert_eq!(vandq_u8(a, b).lane(0), 0b1000);
+        assert_eq!(vorrq_u8(a, b).lane(0), 0b1110);
+        assert_eq!(veorq_u8(a, b).lane(0), 0b0110);
+        assert_eq!(vbicq_u8(a, b).lane(0), 0b0100);
+        assert_eq!(vornq_u8(a, b).lane(0), 0b1100 | !0b1010u8);
+        assert_eq!(vmvnq_u8(a).lane(0), !0b1100u8);
+    }
+
+    #[test]
+    fn bsl_threshold_idiom() {
+        // The binary-threshold kernel: dst = (src > thresh) ? maxval : 0.
+        let src = uint8x16_t::new([
+            0, 50, 100, 127, 128, 129, 200, 255, 1, 2, 3, 4, 250, 251, 252, 253,
+        ]);
+        let thresh = vdupq_n_u8(128);
+        let maxval = vdupq_n_u8(255);
+        let zero = vdupq_n_u8(0);
+        let mask = vcgtq_u8(src, thresh);
+        let dst = vbslq_u8(mask, maxval, zero);
+        for i in 0..16 {
+            let expect = if src.lane(i) > 128 { 255 } else { 0 };
+            assert_eq!(dst.lane(i), expect, "lane {i}");
+        }
+    }
+
+    #[test]
+    fn bsl_f32_selects_lanes() {
+        let mask = uint32x4_t::new([u32::MAX, 0, u32::MAX, 0]);
+        let a = vdupq_n_f32(1.5);
+        let b = vdupq_n_f32(-2.5);
+        assert_eq!(vbslq_f32(mask, a, b).to_array(), [1.5, -2.5, 1.5, -2.5]);
+    }
+
+    #[test]
+    fn bsl_s16_selects_lanes() {
+        let mask = uint16x8_t::new([0xFFFF, 0, 0xFFFF, 0, 0xFFFF, 0, 0xFFFF, 0]);
+        let a = vdupq_n_s16(-7);
+        let b = vdupq_n_s16(9);
+        assert_eq!(
+            vbslq_s16(mask, a, b).to_array(),
+            [-7, 9, -7, 9, -7, 9, -7, 9]
+        );
+    }
+
+    #[test]
+    fn bsl_mixes_bits_not_just_lanes() {
+        let mask = vdupq_n_u8(0x0F);
+        let a = vdupq_n_u8(0xAA);
+        let b = vdupq_n_u8(0x55);
+        assert_eq!(vbslq_u8(mask, a, b).lane(0), (0xAA & 0x0F) | (0x55 & 0xF0));
+    }
+}

@@ -1,0 +1,297 @@
+//! Miscellaneous intrinsics (category *h*): reinterpret casts, vector
+//! extract, reversal, transpose/zip/unzip and table lookup.
+
+use crate::types::*;
+use op_trace::{count, OpClass};
+use simd_vector::cast::reinterpret128;
+
+// ---------------------------------------------------------------------------
+// Reinterpret casts (free on hardware — counted as zero-cost, not traced).
+// ---------------------------------------------------------------------------
+
+macro_rules! vreinterpret {
+    ($(#[$meta:meta])* $name:ident, $src:ty, $dst:ty) => {
+        $(#[$meta])*
+        #[inline]
+        pub fn $name(a: $src) -> $dst {
+            reinterpret128(a)
+        }
+    };
+}
+
+vreinterpret!(
+    /// Reinterprets unsigned halfword lanes as signed.
+    vreinterpretq_s16_u16, uint16x8_t, int16x8_t
+);
+vreinterpret!(
+    /// Reinterprets signed halfword lanes as unsigned.
+    vreinterpretq_u16_s16, int16x8_t, uint16x8_t
+);
+vreinterpret!(
+    /// Reinterprets unsigned byte lanes as signed.
+    vreinterpretq_s8_u8, uint8x16_t, int8x16_t
+);
+vreinterpret!(
+    /// Reinterprets signed byte lanes as unsigned.
+    vreinterpretq_u8_s8, int8x16_t, uint8x16_t
+);
+vreinterpret!(
+    /// Reinterprets float lanes as unsigned words.
+    vreinterpretq_u32_f32, float32x4_t, uint32x4_t
+);
+vreinterpret!(
+    /// Reinterprets unsigned words as float lanes.
+    vreinterpretq_f32_u32, uint32x4_t, float32x4_t
+);
+vreinterpret!(
+    /// Reinterprets signed words as float lanes.
+    vreinterpretq_f32_s32, int32x4_t, float32x4_t
+);
+vreinterpret!(
+    /// Reinterprets float lanes as signed words.
+    vreinterpretq_s32_f32, float32x4_t, int32x4_t
+);
+vreinterpret!(
+    /// Reinterprets halfword lanes as bytes.
+    vreinterpretq_u8_u16, uint16x8_t, uint8x16_t
+);
+vreinterpret!(
+    /// Reinterprets byte lanes as halfwords.
+    vreinterpretq_u16_u8, uint8x16_t, uint16x8_t
+);
+vreinterpret!(
+    /// Reinterprets signed halfwords as bytes.
+    vreinterpretq_u8_s16, int16x8_t, uint8x16_t
+);
+vreinterpret!(
+    /// Reinterprets bytes as signed halfwords.
+    vreinterpretq_s16_u8, uint8x16_t, int16x8_t
+);
+
+// ---------------------------------------------------------------------------
+// Extract / reverse / transpose.
+// ---------------------------------------------------------------------------
+
+/// `vext.8 q` — extracts a 16-byte window starting `n` bytes into the pair
+/// `(a, b)` — the unaligned-access building block.
+#[inline]
+pub fn vextq_u8(a: uint8x16_t, b: uint8x16_t, n: usize) -> uint8x16_t {
+    count(OpClass::SimdAlu);
+    assert!(n < 16, "vext immediate must be 0..=15");
+    let av = a.to_array();
+    let bv = b.to_array();
+    let mut out = [0u8; 16];
+    for (i, slot) in out.iter_mut().enumerate() {
+        let idx = i + n;
+        *slot = if idx < 16 { av[idx] } else { bv[idx - 16] };
+    }
+    uint8x16_t::new(out)
+}
+
+/// `vext.16 q` — halfword window extract over a register pair.
+#[inline]
+pub fn vextq_s16(a: int16x8_t, b: int16x8_t, n: usize) -> int16x8_t {
+    count(OpClass::SimdAlu);
+    assert!(n < 8, "vext immediate must be 0..=7");
+    let av = a.to_array();
+    let bv = b.to_array();
+    let mut out = [0i16; 8];
+    for (i, slot) in out.iter_mut().enumerate() {
+        let idx = i + n;
+        *slot = if idx < 8 { av[idx] } else { bv[idx - 8] };
+    }
+    int16x8_t::new(out)
+}
+
+/// `vext.32 q` — float window extract over a register pair.
+#[inline]
+pub fn vextq_f32(a: float32x4_t, b: float32x4_t, n: usize) -> float32x4_t {
+    count(OpClass::SimdAlu);
+    assert!(n < 4, "vext immediate must be 0..=3");
+    let av = a.to_array();
+    let bv = b.to_array();
+    let mut out = [0f32; 4];
+    for (i, slot) in out.iter_mut().enumerate() {
+        let idx = i + n;
+        *slot = if idx < 4 { av[idx] } else { bv[idx - 4] };
+    }
+    float32x4_t::new(out)
+}
+
+/// `vrev64.8 q` — reverses the bytes within each 64-bit half (the
+/// endianness-swap helper the paper mentions).
+#[inline]
+pub fn vrev64q_u8(a: uint8x16_t) -> uint8x16_t {
+    count(OpClass::SimdAlu);
+    let v = a.to_array();
+    let mut out = [0u8; 16];
+    for i in 0..8 {
+        out[i] = v[7 - i];
+        out[8 + i] = v[15 - i];
+    }
+    uint8x16_t::new(out)
+}
+
+/// `vrev64.16 q` — reverses halfwords within each 64-bit half.
+#[inline]
+pub fn vrev64q_u16(a: uint16x8_t) -> uint16x8_t {
+    count(OpClass::SimdAlu);
+    let v = a.to_array();
+    uint16x8_t::new([v[3], v[2], v[1], v[0], v[7], v[6], v[5], v[4]])
+}
+
+/// `vtrn.32 q` — transposes pairs of 32-bit lanes across two registers
+/// (the 2×2 blocks of a matrix transpose).
+#[inline]
+pub fn vtrnq_u32(a: uint32x4_t, b: uint32x4_t) -> uint32x4x2_t {
+    count(OpClass::SimdAlu);
+    uint32x4x2_t {
+        val: [
+            uint32x4_t::new([a.lane(0), b.lane(0), a.lane(2), b.lane(2)]),
+            uint32x4_t::new([a.lane(1), b.lane(1), a.lane(3), b.lane(3)]),
+        ],
+    }
+}
+
+/// `vzip.16 q` — interleaves the lanes of two registers.
+#[inline]
+pub fn vzipq_s16(a: int16x8_t, b: int16x8_t) -> int16x8x2_t {
+    count(OpClass::SimdAlu);
+    let av = a.to_array();
+    let bv = b.to_array();
+    let mut lo = [0i16; 8];
+    let mut hi = [0i16; 8];
+    for i in 0..4 {
+        lo[2 * i] = av[i];
+        lo[2 * i + 1] = bv[i];
+        hi[2 * i] = av[4 + i];
+        hi[2 * i + 1] = bv[4 + i];
+    }
+    int16x8x2_t {
+        val: [int16x8_t::new(lo), int16x8_t::new(hi)],
+    }
+}
+
+/// `vuzp.16 q` — de-interleaves two registers into even/odd lane streams.
+#[inline]
+pub fn vuzpq_s16(a: int16x8_t, b: int16x8_t) -> int16x8x2_t {
+    count(OpClass::SimdAlu);
+    let all: Vec<i16> = a.to_array().iter().chain(b.to_array().iter()).copied().collect();
+    let mut even = [0i16; 8];
+    let mut odd = [0i16; 8];
+    for i in 0..8 {
+        even[i] = all[2 * i];
+        odd[i] = all[2 * i + 1];
+    }
+    int16x8x2_t {
+        val: [int16x8_t::new(even), int16x8_t::new(odd)],
+    }
+}
+
+/// `vtbl1.8` — table lookup: each lane of `idx` selects a byte of `table`
+/// (out-of-range indices produce 0).
+#[inline]
+pub fn vtbl1_u8(table: uint8x8_t, idx: uint8x8_t) -> uint8x8_t {
+    count(OpClass::SimdAlu);
+    let t = table.to_array();
+    idx.map(|i| if (i as usize) < 8 { t[i as usize] } else { 0 })
+}
+
+/// `vcnt.8 q` — per-byte population count.
+#[inline]
+pub fn vcntq_u8(a: uint8x16_t) -> uint8x16_t {
+    count(OpClass::SimdAlu);
+    a.map(|v| v.count_ones() as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load_store::*;
+
+    #[test]
+    fn reinterpret_is_bit_preserving() {
+        let mask = uint16x8_t::splat(0xFFFF);
+        assert_eq!(vreinterpretq_s16_u16(mask).lane(0), -1);
+        let f = vdupq_n_f32(1.0);
+        assert_eq!(vreinterpretq_u32_f32(f).lane(0), 0x3F80_0000);
+        let round = vreinterpretq_f32_u32(vreinterpretq_u32_f32(f));
+        assert_eq!(round, f);
+    }
+
+    #[test]
+    fn ext_concatenates_windows() {
+        let a = uint8x16_t::new([0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]);
+        let b = vdupq_n_u8(99);
+        let r = vextq_u8(a, b, 3);
+        assert_eq!(&r.to_array()[..13], &(3u8..16).collect::<Vec<_>>()[..]);
+        assert_eq!(&r.to_array()[13..], &[99, 99, 99]);
+        let zero_ext = vextq_u8(a, b, 0);
+        assert_eq!(zero_ext, a);
+        let s = vextq_s16(
+            int16x8_t::new([0, 1, 2, 3, 4, 5, 6, 7]),
+            vdupq_n_s16(-1),
+            6,
+        );
+        assert_eq!(s.to_array(), [6, 7, -1, -1, -1, -1, -1, -1]);
+        let f = vextq_f32(
+            float32x4_t::new([0.0, 1.0, 2.0, 3.0]),
+            vdupq_n_f32(9.0),
+            1,
+        );
+        assert_eq!(f.to_array(), [1.0, 2.0, 3.0, 9.0]);
+    }
+
+    #[test]
+    fn rev64_swaps_within_halves() {
+        let a = uint8x16_t::new([0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]);
+        let r = vrev64q_u8(a);
+        assert_eq!(
+            r.to_array(),
+            [7, 6, 5, 4, 3, 2, 1, 0, 15, 14, 13, 12, 11, 10, 9, 8]
+        );
+        let h = vrev64q_u16(uint16x8_t::new([0, 1, 2, 3, 4, 5, 6, 7]));
+        assert_eq!(h.to_array(), [3, 2, 1, 0, 7, 6, 5, 4]);
+    }
+
+    #[test]
+    fn trn_zip_uzp() {
+        let a = uint32x4_t::new([0, 1, 2, 3]);
+        let b = uint32x4_t::new([10, 11, 12, 13]);
+        let t = vtrnq_u32(a, b);
+        assert_eq!(t.val[0].to_array(), [0, 10, 2, 12]);
+        assert_eq!(t.val[1].to_array(), [1, 11, 3, 13]);
+
+        let x = int16x8_t::new([0, 1, 2, 3, 4, 5, 6, 7]);
+        let y = int16x8_t::new([10, 11, 12, 13, 14, 15, 16, 17]);
+        let z = vzipq_s16(x, y);
+        assert_eq!(z.val[0].to_array(), [0, 10, 1, 11, 2, 12, 3, 13]);
+        assert_eq!(z.val[1].to_array(), [4, 14, 5, 15, 6, 16, 7, 17]);
+
+        // uzp inverts zip.
+        let u = vuzpq_s16(z.val[0], z.val[1]);
+        assert_eq!(u.val[0], x);
+        assert_eq!(u.val[1], y);
+    }
+
+    #[test]
+    fn table_lookup() {
+        let table = uint8x8_t::new([10, 20, 30, 40, 50, 60, 70, 80]);
+        let idx = uint8x8_t::new([7, 0, 3, 200, 1, 1, 6, 8]);
+        assert_eq!(
+            vtbl1_u8(table, idx).to_array(),
+            [80, 10, 40, 0, 20, 20, 70, 0]
+        );
+    }
+
+    #[test]
+    fn popcount() {
+        let v = uint8x16_t::new([
+            0, 1, 3, 7, 15, 31, 63, 127, 255, 0x80, 0xAA, 0x55, 2, 4, 8, 16,
+        ]);
+        assert_eq!(
+            vcntq_u8(v).to_array(),
+            [0, 1, 2, 3, 4, 5, 6, 7, 8, 1, 4, 4, 1, 1, 1, 1]
+        );
+    }
+}

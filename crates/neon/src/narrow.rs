@@ -1,0 +1,169 @@
+//! Narrowing and widening moves: `vqmovn`, `vqmovun`, `vmovn`, `vmovl`.
+
+use crate::types::*;
+use op_trace::{count, OpClass};
+
+/// `vqmovn.s32` — saturating narrow of four `i32` lanes to four `i16` lanes
+/// (the benchmark-1 downcast step).
+///
+/// ```
+/// use neon_sim::{vqmovn_s32, types::int32x4_t};
+/// let v = int32x4_t::new([70_000, -70_000, 7, -7]);
+/// assert_eq!(vqmovn_s32(v).to_array(), [32767, -32768, 7, -7]);
+/// ```
+#[inline]
+pub fn vqmovn_s32(a: int32x4_t) -> int16x4_t {
+    count(OpClass::SimdConvert);
+    a.narrow_saturate_i16_half()
+}
+
+/// `vqmovn.s16` — saturating narrow of eight `i16` lanes to eight `i8`
+/// lanes.
+#[inline]
+pub fn vqmovn_s16(a: int16x8_t) -> int8x8_t {
+    count(OpClass::SimdConvert);
+    a.narrow_saturate_i8_half()
+}
+
+/// `vqmovun.s16` — *unsigned*-saturating narrow of eight signed `i16` lanes
+/// to eight `u8` lanes (the edge-detection magnitude downcast).
+#[inline]
+pub fn vqmovun_s16(a: int16x8_t) -> uint8x8_t {
+    count(OpClass::SimdConvert);
+    a.narrow_saturate_u8_half()
+}
+
+/// `vqmovun.s32` — unsigned-saturating narrow of four signed `i32` lanes to
+/// four `u16` lanes.
+#[inline]
+pub fn vqmovun_s32(a: int32x4_t) -> uint16x4_t {
+    count(OpClass::SimdConvert);
+    a.narrow_saturate_u16_half()
+}
+
+/// `vqmovn.u16` — saturating narrow of eight `u16` lanes to eight `u8`
+/// lanes.
+#[inline]
+pub fn vqmovn_u16(a: uint16x8_t) -> uint8x8_t {
+    count(OpClass::SimdConvert);
+    a.narrow_saturate_u8_half()
+}
+
+/// `vmovn.i16` — truncating narrow of eight `u16` lanes to eight `u8`
+/// lanes (drops high bits).
+#[inline]
+pub fn vmovn_u16(a: uint16x8_t) -> uint8x8_t {
+    count(OpClass::SimdConvert);
+    a.narrow_truncate_u8()
+}
+
+/// `vmovl.u8` — zero-extending widen of eight `u8` lanes to eight `u16`
+/// lanes.
+#[inline]
+pub fn vmovl_u8(a: uint8x8_t) -> uint16x8_t {
+    count(OpClass::SimdConvert);
+    a.widen_u16()
+}
+
+/// `vmovl.s16` — sign-extending widen of four `i16` lanes to four `i32`
+/// lanes.
+#[inline]
+pub fn vmovl_s16(a: int16x4_t) -> int32x4_t {
+    count(OpClass::SimdConvert);
+    a.widen_i32()
+}
+
+/// `vmovl.u16` — zero-extending widen of four `u16` lanes to four `u32`
+/// lanes.
+#[inline]
+pub fn vmovl_u16(a: uint16x4_t) -> uint32x4_t {
+    count(OpClass::SimdConvert);
+    a.widen_u32()
+}
+
+/// Reinterprets the `u16` widen of bytes as signed halfwords — the
+/// ubiquitous `vreinterpretq_s16_u16(vmovl_u8(x))` idiom, provided directly
+/// because filter kernels use it on every tap.
+#[inline]
+pub fn vmovl_u8_as_s16(a: uint8x8_t) -> int16x8_t {
+    count(OpClass::SimdConvert);
+    a.widen_i16()
+}
+
+/// `vmovn.i32` — truncating narrow of four `u32` lanes to four `u16` lanes.
+#[inline]
+pub fn vmovn_u32(a: uint32x4_t) -> uint16x4_t {
+    count(OpClass::SimdConvert);
+    uint16x4_t::new([
+        a.lane(0) as u16,
+        a.lane(1) as u16,
+        a.lane(2) as u16,
+        a.lane(3) as u16,
+    ])
+}
+
+/// `vqmovn.u32` — saturating narrow of four `u32` lanes to four `u16`
+/// lanes.
+#[inline]
+pub fn vqmovn_u32(a: uint32x4_t) -> uint16x4_t {
+    count(OpClass::SimdConvert);
+    uint16x4_t::new([
+        a.lane(0).min(u16::MAX as u32) as u16,
+        a.lane(1).min(u16::MAX as u32) as u16,
+        a.lane(2).min(u16::MAX as u32) as u16,
+        a.lane(3).min(u16::MAX as u32) as u16,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qmovn_saturates_both_ends() {
+        let v = int32x4_t::new([70000, -70000, 5, -5]);
+        assert_eq!(vqmovn_s32(v).to_array(), [32767, -32768, 5, -5]);
+        let h = int16x8_t::new([300, -300, 127, -128, 128, -129, 0, 1]);
+        assert_eq!(
+            vqmovn_s16(h).to_array(),
+            [127, -128, 127, -128, 127, -128, 0, 1]
+        );
+    }
+
+    #[test]
+    fn qmovun_clamps_negative_to_zero() {
+        let v = int16x8_t::new([-5, 0, 127, 128, 255, 256, 300, -1]);
+        assert_eq!(
+            vqmovun_s16(v).to_array(),
+            [0, 0, 127, 128, 255, 255, 255, 0]
+        );
+        let w = int32x4_t::new([-1, 0, 65535, 65536]);
+        assert_eq!(vqmovun_s32(w).to_array(), [0, 0, 65535, 65535]);
+    }
+
+    #[test]
+    fn movn_truncates_movl_widens() {
+        let v = uint16x8_t::new([0x1FF, 0x100, 0xFF, 1, 2, 3, 4, 5]);
+        assert_eq!(vmovn_u16(v).to_array(), [0xFF, 0, 0xFF, 1, 2, 3, 4, 5]);
+        assert_eq!(
+            vqmovn_u16(v).to_array(),
+            [255, 255, 255, 1, 2, 3, 4, 5]
+        );
+        let b = uint8x8_t::new([0, 1, 127, 128, 200, 255, 7, 9]);
+        assert_eq!(vmovl_u8(b).to_array(), [0, 1, 127, 128, 200, 255, 7, 9]);
+        assert_eq!(vmovl_u8_as_s16(b).lane(5), 255i16);
+        let s = int16x4_t::new([-1, 0, 1, i16::MIN]);
+        assert_eq!(vmovl_s16(s).to_array(), [-1, 0, 1, -32768]);
+        let u = uint16x4_t::new([0, 1, 65535, 7]);
+        assert_eq!(vmovl_u16(u).to_array(), [0, 1, 65535, 7]);
+    }
+
+    #[test]
+    fn paper_benchmark1_narrow_pipeline() {
+        // int16x4_t lo = vqmovn_s32(cvt(lo)); hi likewise; combine.
+        let lo = int32x4_t::new([1, 2, 40000, -40000]);
+        let hi = int32x4_t::new([5, 6, 7, 8]);
+        let res = crate::vcombine_s16(vqmovn_s32(lo), vqmovn_s32(hi));
+        assert_eq!(res.to_array(), [1, 2, 32767, -32768, 5, 6, 7, 8]);
+    }
+}

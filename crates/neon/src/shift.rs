@@ -1,0 +1,224 @@
+//! Bit-shift intrinsics (category *g*): immediate shifts, rounding shifts,
+//! narrowing shifts and the saturating-narrowing shift used by fixed-point
+//! filters.
+
+use crate::types::*;
+use op_trace::{count, OpClass};
+
+/// `vshl.i16 q, #n` — left shift halfwords by an immediate.
+#[inline]
+pub fn vshlq_n_s16(a: int16x8_t, n: u32) -> int16x8_t {
+    count(OpClass::SimdAlu);
+    a.shl(n)
+}
+
+/// `vshl.i32 q, #n` — left shift words by an immediate.
+#[inline]
+pub fn vshlq_n_s32(a: int32x4_t, n: u32) -> int32x4_t {
+    count(OpClass::SimdAlu);
+    a.shl(n)
+}
+
+/// `vshr.s16 q, #n` — arithmetic right shift of halfwords.
+#[inline]
+pub fn vshrq_n_s16(a: int16x8_t, n: u32) -> int16x8_t {
+    count(OpClass::SimdAlu);
+    a.shr_arithmetic(n)
+}
+
+/// `vshr.u16 q, #n` — logical right shift of unsigned halfwords.
+#[inline]
+pub fn vshrq_n_u16(a: uint16x8_t, n: u32) -> uint16x8_t {
+    count(OpClass::SimdAlu);
+    a.shr_logical(n)
+}
+
+/// `vshr.s32 q, #n` — arithmetic right shift of words.
+#[inline]
+pub fn vshrq_n_s32(a: int32x4_t, n: u32) -> int32x4_t {
+    count(OpClass::SimdAlu);
+    a.shr_arithmetic(n)
+}
+
+/// `vshr.u8 q, #n` — logical right shift of bytes.
+#[inline]
+pub fn vshrq_n_u8(a: uint8x16_t, n: u32) -> uint8x16_t {
+    count(OpClass::SimdAlu);
+    a.shr_logical(n)
+}
+
+/// `vrshr.s16 q, #n` — *rounding* arithmetic right shift:
+/// `(a + (1 << (n-1))) >> n` with intermediate widening.
+#[inline]
+pub fn vrshrq_n_s16(a: int16x8_t, n: u32) -> int16x8_t {
+    count(OpClass::SimdAlu);
+    assert!((1..=16).contains(&n), "vrshr immediate must be 1..=16");
+    a.map(|v| (((v as i32) + (1 << (n - 1))) >> n) as i16)
+}
+
+/// `vrshr.u16 q, #n` — rounding logical right shift.
+#[inline]
+pub fn vrshrq_n_u16(a: uint16x8_t, n: u32) -> uint16x8_t {
+    count(OpClass::SimdAlu);
+    assert!((1..=16).contains(&n), "vrshr immediate must be 1..=16");
+    a.map(|v| (((v as u32) + (1 << (n - 1))) >> n) as u16)
+}
+
+/// `vrshr.s32 q, #n` — rounding arithmetic right shift of words.
+#[inline]
+pub fn vrshrq_n_s32(a: int32x4_t, n: u32) -> int32x4_t {
+    count(OpClass::SimdAlu);
+    assert!((1..=32).contains(&n), "vrshr immediate must be 1..=32");
+    a.map(|v| (((v as i64) + (1i64 << (n - 1))) >> n) as i32)
+}
+
+/// `vshrn.i32 q, #n` — right shift words by an immediate and narrow to
+/// halfwords (truncating).
+#[inline]
+pub fn vshrn_n_s32(a: int32x4_t, n: u32) -> int16x4_t {
+    count(OpClass::SimdConvert);
+    int16x4_t::new([
+        (a.lane(0) >> n) as i16,
+        (a.lane(1) >> n) as i16,
+        (a.lane(2) >> n) as i16,
+        (a.lane(3) >> n) as i16,
+    ])
+}
+
+/// `vrshrn.i16 q, #n` — rounding shift right and narrow halfwords to bytes.
+#[inline]
+pub fn vrshrn_n_u16(a: uint16x8_t, n: u32) -> uint8x8_t {
+    count(OpClass::SimdConvert);
+    assert!((1..=8).contains(&n), "vrshrn immediate must be 1..=8");
+    let mut out = [0u8; 8];
+    for i in 0..8 {
+        out[i] = ((((a.lane(i) as u32) + (1 << (n - 1))) >> n) & 0xFF) as u8;
+    }
+    uint8x8_t::new(out)
+}
+
+/// `vqrshrun.s16 q, #n` — saturating rounding shift right, unsigned
+/// narrowing: the canonical fixed-point 8-bit filter epilogue.
+#[inline]
+pub fn vqrshrun_n_s16(a: int16x8_t, n: u32) -> uint8x8_t {
+    count(OpClass::SimdConvert);
+    assert!((1..=8).contains(&n), "vqrshrun immediate must be 1..=8");
+    let mut out = [0u8; 8];
+    for i in 0..8 {
+        let rounded = ((a.lane(i) as i32) + (1 << (n - 1))) >> n;
+        out[i] = rounded.clamp(0, 255) as u8;
+    }
+    uint8x8_t::new(out)
+}
+
+/// `vqrshrn.s32 q, #n` — saturating rounding shift right, signed narrowing
+/// of words to halfwords.
+#[inline]
+pub fn vqrshrn_n_s32(a: int32x4_t, n: u32) -> int16x4_t {
+    count(OpClass::SimdConvert);
+    assert!((1..=16).contains(&n), "vqrshrn immediate must be 1..=16");
+    let mut out = [0i16; 4];
+    for i in 0..4 {
+        let rounded = ((a.lane(i) as i64) + (1i64 << (n - 1))) >> n;
+        out[i] = rounded.clamp(i16::MIN as i64, i16::MAX as i64) as i16;
+    }
+    int16x4_t::new(out)
+}
+
+/// `vsli.8 q, #n` — shift left and insert: shifts `b` left by `n` and
+/// merges the shifted-out low bits from `a`.
+#[inline]
+pub fn vsliq_n_u8(a: uint8x16_t, b: uint8x16_t, n: u32) -> uint8x16_t {
+    count(OpClass::SimdAlu);
+    assert!(n < 8, "vsli immediate must be 0..=7");
+    let mask = (1u8 << n) - 1;
+    a.zip(b, |av, bv| (bv << n) | (av & mask))
+}
+
+/// `vshr.u32 q, #n` — logical right shift of unsigned words.
+#[inline]
+pub fn vshrq_n_u32(a: uint32x4_t, n: u32) -> uint32x4_t {
+    count(OpClass::SimdAlu);
+    a.shr_logical(n)
+}
+
+/// `vrshr.u32 q, #n` — rounding logical right shift of unsigned words.
+#[inline]
+pub fn vrshrq_n_u32(a: uint32x4_t, n: u32) -> uint32x4_t {
+    count(OpClass::SimdAlu);
+    assert!((1..=32).contains(&n), "vrshr immediate must be 1..=32");
+    a.map(|v| (((v as u64) + (1u64 << (n - 1))) >> n) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load_store::*;
+
+    #[test]
+    fn plain_shifts() {
+        assert_eq!(vshlq_n_s16(vdupq_n_s16(3), 4).lane(0), 48);
+        assert_eq!(vshrq_n_s16(vdupq_n_s16(-16), 2).lane(0), -4);
+        assert_eq!(
+            vshrq_n_u16(uint16x8_t::splat(0x8000), 15).lane(0),
+            1
+        );
+        assert_eq!(vshrq_n_u8(vdupq_n_u8(0xFF), 4).lane(0), 0x0F);
+        assert_eq!(vshlq_n_s32(vdupq_n_s32(1), 20).lane(0), 1 << 20);
+        assert_eq!(vshrq_n_s32(vdupq_n_s32(-64), 3).lane(0), -8);
+    }
+
+    #[test]
+    fn rounding_shifts_round_half_up() {
+        // 5 >> 1 = 2 truncating, 3 rounding.
+        assert_eq!(vshrq_n_s16(vdupq_n_s16(5), 1).lane(0), 2);
+        assert_eq!(vrshrq_n_s16(vdupq_n_s16(5), 1).lane(0), 3);
+        // -5: rounding shift adds then shifts: (-5+1)>>1 = -2.
+        assert_eq!(vrshrq_n_s16(vdupq_n_s16(-5), 1).lane(0), -2);
+        assert_eq!(vrshrq_n_u16(uint16x8_t::splat(5), 1).lane(0), 3);
+        assert_eq!(vrshrq_n_s32(vdupq_n_s32(255), 4).lane(0), 16);
+    }
+
+    #[test]
+    fn narrowing_shifts() {
+        // 0x12345678 >> 8 = 0x00123456, narrow -> 0x3456.
+        let v = int32x4_t::new([0x1234_5678, -256, 512, 0]);
+        assert_eq!(vshrn_n_s32(v, 8).to_array(), [0x3456, -1, 2, 0]);
+    }
+
+    #[test]
+    fn qrshrun_is_the_fixed_point_epilogue() {
+        // Values in Q7 fixed point (128 = 1.0).
+        let v = int16x8_t::new([
+            200 * 128,      // 200.0 -> 200
+            -300,           // negative clamps to 0
+            100 * 128 + 64, // 100.5 rounds (half up) to 101
+            0,
+            127, // 0.99 -> rounds to 1
+            128, // 1.0 -> 1
+            255 * 128,
+            1,
+        ]);
+        let out = vqrshrun_n_s16(v, 7);
+        assert_eq!(out.lane(0), 200);
+        assert_eq!(out.lane(1), 0);
+        assert_eq!(out.lane(2), 101);
+        assert_eq!(out.lane(4), 1);
+        assert_eq!(out.lane(5), 1);
+        assert_eq!(out.lane(6), 255);
+    }
+
+    #[test]
+    fn qrshrn_s32_saturates() {
+        let v = int32x4_t::new([1 << 20, -(1 << 20), 256, -256]);
+        let out = vqrshrn_n_s32(v, 4);
+        assert_eq!(out.to_array(), [i16::MAX, i16::MIN, 16, -16]);
+    }
+
+    #[test]
+    fn sli_inserts_low_bits() {
+        let a = vdupq_n_u8(0b0000_0011);
+        let b = vdupq_n_u8(0b0000_1111);
+        assert_eq!(vsliq_n_u8(a, b, 2).lane(0), 0b0011_1111);
+    }
+}

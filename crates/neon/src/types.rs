@@ -1,0 +1,128 @@
+//! NEON vector types: `<type><size>x<lanes>_t` aliases over the portable
+//! lane types, plus the array-of-vector struct types
+//! (`<type><size>x<lanes>x<len>_t`) used by the structured load/stores.
+
+use simd_vector::{
+    F32x2, F32x4, I16x4, I16x8, I32x2, I32x4, I64x1, I64x2, I8x16, I8x8, U16x4, U16x8, U32x2,
+    U32x4, U64x1, U64x2, U8x16, U8x8,
+};
+
+// Q (128-bit) register views.
+/// Four packed `f32` lanes in a Q register.
+pub type float32x4_t = F32x4;
+/// Sixteen packed `i8` lanes in a Q register.
+pub type int8x16_t = I8x16;
+/// Sixteen packed `u8` lanes in a Q register.
+pub type uint8x16_t = U8x16;
+/// Eight packed `i16` lanes in a Q register.
+pub type int16x8_t = I16x8;
+/// Eight packed `u16` lanes in a Q register.
+pub type uint16x8_t = U16x8;
+/// Four packed `i32` lanes in a Q register.
+pub type int32x4_t = I32x4;
+/// Four packed `u32` lanes in a Q register.
+pub type uint32x4_t = U32x4;
+/// Two packed `i64` lanes in a Q register.
+pub type int64x2_t = I64x2;
+/// Two packed `u64` lanes in a Q register.
+pub type uint64x2_t = U64x2;
+/// Polynomial lanes are carried as raw unsigned bits.
+pub type poly8x16_t = U8x16;
+/// Eight packed 16-bit polynomial lanes (raw bits).
+pub type poly16x8_t = U16x8;
+
+// D (64-bit) register views.
+/// Two packed `f32` lanes in a D register.
+pub type float32x2_t = F32x2;
+/// Eight packed `i8` lanes in a D register.
+pub type int8x8_t = I8x8;
+/// Eight packed `u8` lanes in a D register.
+pub type uint8x8_t = U8x8;
+/// Four packed `i16` lanes in a D register.
+pub type int16x4_t = I16x4;
+/// Four packed `u16` lanes in a D register.
+pub type uint16x4_t = U16x4;
+/// Two packed `i32` lanes in a D register.
+pub type int32x2_t = I32x2;
+/// Two packed `u32` lanes in a D register.
+pub type uint32x2_t = U32x2;
+/// One `i64` lane in a D register.
+pub type int64x1_t = I64x1;
+/// One `u64` lane in a D register.
+pub type uint64x1_t = U64x1;
+/// Eight packed 8-bit polynomial lanes (raw bits).
+pub type poly8x8_t = U8x8;
+/// Four packed 16-bit polynomial lanes (raw bits).
+pub type poly16x4_t = U16x4;
+
+macro_rules! array_of_vectors {
+    ($(#[$meta:meta])* $name:ident, $vec:ty, $len:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq)]
+        #[repr(C)]
+        pub struct $name {
+            /// The vector array, exactly as in `arm_neon.h`.
+            pub val: [$vec; $len],
+        }
+    };
+}
+
+array_of_vectors!(
+    /// Two `uint8x8_t` vectors (result of `vld2_u8`).
+    uint8x8x2_t, uint8x8_t, 2
+);
+array_of_vectors!(
+    /// Two `uint8x16_t` vectors (result of `vld2q_u8`).
+    uint8x16x2_t, uint8x16_t, 2
+);
+array_of_vectors!(
+    /// Three `uint8x16_t` vectors (result of `vld3q_u8`, e.g. packed RGB).
+    uint8x16x3_t, uint8x16_t, 3
+);
+array_of_vectors!(
+    /// Two `int16x4_t` vectors — the paper's Section II-C example type.
+    int16x4x2_t, int16x4_t, 2
+);
+array_of_vectors!(
+    /// Two `int16x8_t` vectors.
+    int16x8x2_t, int16x8_t, 2
+);
+array_of_vectors!(
+    /// Two `float32x4_t` vectors (result of `vld2q_f32`).
+    float32x4x2_t, float32x4_t, 2
+);
+array_of_vectors!(
+    /// Two `uint32x4_t` vectors (result of `vtrnq_u32` etc.).
+    uint32x4x2_t, uint32x4_t, 2
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_types_are_128_bit() {
+        assert_eq!(std::mem::size_of::<float32x4_t>(), 16);
+        assert_eq!(std::mem::size_of::<int16x8_t>(), 16);
+        assert_eq!(std::mem::size_of::<uint8x16_t>(), 16);
+    }
+
+    #[test]
+    fn d_types_are_64_bit() {
+        assert_eq!(std::mem::size_of::<int16x4_t>(), 8);
+        assert_eq!(std::mem::size_of::<uint8x8_t>(), 8);
+        assert_eq!(std::mem::size_of::<float32x2_t>(), 8);
+    }
+
+    #[test]
+    fn array_types_match_paper_description() {
+        // int16x4x2_t is "a struct type with parameter int16x4_t val[2]".
+        let v = int16x4x2_t {
+            val: [int16x4_t::splat(1), int16x4_t::splat(2)],
+        };
+        assert_eq!(v.val[0].to_array(), [1; 4]);
+        assert_eq!(v.val[1].to_array(), [2; 4]);
+        assert_eq!(std::mem::size_of::<int16x4x2_t>(), 16);
+        assert_eq!(std::mem::size_of::<uint8x16x3_t>(), 48);
+    }
+}

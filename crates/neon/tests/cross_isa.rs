@@ -1,0 +1,344 @@
+//! Cross-ISA identities: where SSE2 and NEON define the same lane
+//! semantics, the two simulated surfaces must agree bit-for-bit. These are
+//! the equivalences the paper's hand-ported kernels rely on (Section III-A
+//! describes porting each SSE2 sequence to an "analogous" NEON sequence).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TRIALS: usize = 1000;
+
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(0xA11CE)
+}
+
+#[test]
+fn packs_epi32_equals_vqmovn_vcombine() {
+    let mut rng = rng();
+    for _ in 0..TRIALS {
+        let lo: [i32; 4] = rng.gen();
+        let hi: [i32; 4] = rng.gen();
+        let sse = sse_sim::_mm_packs_epi32(
+            sse_sim::__m128i::from_i32(lo.into()),
+            sse_sim::__m128i::from_i32(hi.into()),
+        )
+        .as_i16();
+        let neon = neon_sim::vcombine_s16(
+            neon_sim::vqmovn_s32(lo.into()),
+            neon_sim::vqmovn_s32(hi.into()),
+        );
+        assert_eq!(sse, neon);
+    }
+}
+
+#[test]
+fn packus_epi16_equals_vqmovun_pair() {
+    let mut rng = rng();
+    for _ in 0..TRIALS {
+        let lo: [i16; 8] = rng.gen();
+        let hi: [i16; 8] = rng.gen();
+        let sse = sse_sim::_mm_packus_epi16(
+            sse_sim::__m128i::from_i16(lo.into()),
+            sse_sim::__m128i::from_i16(hi.into()),
+        )
+        .as_u8();
+        let neon = neon_sim::vcombine_u8(
+            neon_sim::vqmovun_s16(lo.into()),
+            neon_sim::vqmovun_s16(hi.into()),
+        );
+        assert_eq!(sse, neon);
+    }
+}
+
+#[test]
+fn cvtps_epi32_equals_vcvtnq_in_range() {
+    // The rounding conversions agree wherever the result fits in i32 (the
+    // ISAs only diverge in their out-of-range conventions).
+    let mut rng = rng();
+    for _ in 0..TRIALS {
+        let v: [f32; 4] = [
+            rng.gen_range(-2e9f32..2e9),
+            rng.gen_range(-65536.0f32..65536.0),
+            (rng.gen_range(-1000i32..1000) as f32) + 0.5,
+            rng.gen_range(-1.0f32..1.0),
+        ];
+        let sse = sse_sim::_mm_cvtps_epi32(v.into()).as_i32();
+        let neon = neon_sim::vcvtnq_s32_f32(v.into());
+        assert_eq!(sse, neon, "inputs {v:?}");
+    }
+}
+
+#[test]
+fn cvttps_equals_vcvtq_in_range() {
+    let mut rng = rng();
+    for _ in 0..TRIALS {
+        let v: [f32; 4] = [
+            rng.gen_range(-2e9f32..2e9),
+            rng.gen_range(-65536.0f32..65536.0),
+            rng.gen_range(-255.0f32..255.0),
+            rng.gen_range(-1.0f32..1.0),
+        ];
+        let sse = sse_sim::_mm_cvttps_epi32(v.into()).as_i32();
+        let neon = neon_sim::vcvtq_s32_f32(v.into());
+        assert_eq!(sse, neon, "inputs {v:?}");
+    }
+}
+
+#[test]
+fn saturating_u8_arith_agrees() {
+    let mut rng = rng();
+    for _ in 0..TRIALS {
+        let a: [u8; 16] = rng.gen();
+        let b: [u8; 16] = rng.gen();
+        let sse_add = sse_sim::_mm_adds_epu8(
+            sse_sim::__m128i::from_u8(a.into()),
+            sse_sim::__m128i::from_u8(b.into()),
+        )
+        .as_u8();
+        let neon_add = neon_sim::vqaddq_u8(a.into(), b.into());
+        assert_eq!(sse_add, neon_add);
+
+        let sse_sub = sse_sim::_mm_subs_epu8(
+            sse_sim::__m128i::from_u8(a.into()),
+            sse_sim::__m128i::from_u8(b.into()),
+        )
+        .as_u8();
+        let neon_sub = neon_sim::vqsubq_u8(a.into(), b.into());
+        assert_eq!(sse_sub, neon_sub);
+    }
+}
+
+#[test]
+fn unsigned_minmax_avg_agree() {
+    let mut rng = rng();
+    for _ in 0..TRIALS {
+        let a: [u8; 16] = rng.gen();
+        let b: [u8; 16] = rng.gen();
+        let ai = sse_sim::__m128i::from_u8(a.into());
+        let bi = sse_sim::__m128i::from_u8(b.into());
+        assert_eq!(
+            sse_sim::_mm_max_epu8(ai, bi).as_u8(),
+            neon_sim::vmaxq_u8(a.into(), b.into())
+        );
+        assert_eq!(
+            sse_sim::_mm_min_epu8(ai, bi).as_u8(),
+            neon_sim::vminq_u8(a.into(), b.into())
+        );
+        // pavgb rounds up, exactly vrhadd.
+        assert_eq!(
+            sse_sim::_mm_avg_epu8(ai, bi).as_u8(),
+            neon_sim::vrhaddq_u8(a.into(), b.into())
+        );
+    }
+}
+
+#[test]
+fn unsigned_gt_threshold_idiom_agrees() {
+    // SSE2 has no unsigned byte compare; the kernel idiom is
+    // max(a,t) == a  <=>  a >= t, or the xor-0x80 signed trick. NEON has
+    // vcgtq_u8 directly. Both must produce the same mask.
+    let mut rng = rng();
+    for _ in 0..TRIALS {
+        let a: [u8; 16] = rng.gen();
+        let t: u8 = rng.gen();
+        // SSE trick: flip sign bits then do signed gt.
+        let sign = sse_sim::_mm_set1_epi8(-128);
+        let av = sse_sim::_mm_xor_si128(sse_sim::__m128i::from_u8(a.into()), sign);
+        let tv = sse_sim::_mm_xor_si128(sse_sim::_mm_set1_epi8(t as i8), sign);
+        let sse_mask = sse_sim::_mm_cmpgt_epi8(av, tv).as_u8();
+        let neon_mask = neon_sim::vcgtq_u8(a.into(), neon_sim::vdupq_n_u8(t));
+        assert_eq!(sse_mask, neon_mask, "a {a:?} t {t}");
+    }
+}
+
+#[test]
+fn select_idioms_agree() {
+    // (mask & x) | (!mask & y): SSE and/andnot/or == NEON vbsl.
+    let mut rng = rng();
+    for _ in 0..TRIALS {
+        let mask_bytes: [u8; 16] = rng.gen();
+        let x: [u8; 16] = rng.gen();
+        let y: [u8; 16] = rng.gen();
+        let m = sse_sim::__m128i::from_u8(mask_bytes.into());
+        let xi = sse_sim::__m128i::from_u8(x.into());
+        let yi = sse_sim::__m128i::from_u8(y.into());
+        let sse = sse_sim::_mm_or_si128(
+            sse_sim::_mm_and_si128(m, xi),
+            sse_sim::_mm_andnot_si128(m, yi),
+        )
+        .as_u8();
+        let neon = neon_sim::vbslq_u8(mask_bytes.into(), x.into(), y.into());
+        assert_eq!(sse, neon);
+    }
+}
+
+#[test]
+fn widening_mac_agrees_with_madd_layout() {
+    // pmaddwd(a, b) == vmlal of even lanes + vmlal of odd lanes after a
+    // de-interleave — verify numerically via a reference dot product.
+    let mut rng = rng();
+    for _ in 0..TRIALS {
+        let a: [i16; 8] = rng.gen();
+        let b: [i16; 8] = rng.gen();
+        let sse = sse_sim::_mm_madd_epi16(
+            sse_sim::__m128i::from_i16(a.into()),
+            sse_sim::__m128i::from_i16(b.into()),
+        )
+        .as_i32()
+        .to_array();
+        // NEON route: widen each half, multiply, pairwise add.
+        let lo = neon_sim::vmull_s16(
+            neon_sim::vget_low_s16(a.into()),
+            neon_sim::vget_low_s16(b.into()),
+        )
+        .to_array();
+        let hi = neon_sim::vmull_s16(
+            neon_sim::vget_high_s16(a.into()),
+            neon_sim::vget_high_s16(b.into()),
+        )
+        .to_array();
+        let neon = [
+            lo[0].wrapping_add(lo[1]),
+            lo[2].wrapping_add(lo[3]),
+            hi[0].wrapping_add(hi[1]),
+            hi[2].wrapping_add(hi[3]),
+        ];
+        assert_eq!(sse, neon);
+    }
+}
+
+#[test]
+fn float_ops_agree_bitwise() {
+    let mut rng = rng();
+    for _ in 0..TRIALS {
+        let a: [f32; 4] = [
+            rng.gen_range(-1e6f32..1e6),
+            rng.gen_range(-1e6f32..1e6),
+            rng.gen_range(-1e6f32..1e6),
+            rng.gen_range(-1e6f32..1e6),
+        ];
+        let b: [f32; 4] = [
+            rng.gen_range(-1e6f32..1e6),
+            rng.gen_range(-1e6f32..1e6),
+            rng.gen_range(-1e6f32..1e6),
+            rng.gen_range(-1e6f32..1e6),
+        ];
+        assert_eq!(
+            sse_sim::_mm_add_ps(a.into(), b.into()),
+            neon_sim::vaddq_f32(a.into(), b.into())
+        );
+        assert_eq!(
+            sse_sim::_mm_mul_ps(a.into(), b.into()),
+            neon_sim::vmulq_f32(a.into(), b.into())
+        );
+        assert_eq!(
+            sse_sim::_mm_sub_ps(a.into(), b.into()),
+            neon_sim::vsubq_f32(a.into(), b.into())
+        );
+        assert_eq!(
+            sse_sim::_mm_min_ps(a.into(), b.into()),
+            neon_sim::vminq_f32(a.into(), b.into())
+        );
+        assert_eq!(
+            sse_sim::_mm_max_ps(a.into(), b.into()),
+            neon_sim::vmaxq_f32(a.into(), b.into())
+        );
+    }
+}
+
+#[test]
+fn float_compare_masks_agree() {
+    let mut rng = rng();
+    for _ in 0..TRIALS {
+        let a: [f32; 4] = [
+            rng.gen_range(-10.0f32..10.0),
+            rng.gen_range(-10.0f32..10.0),
+            f32::NAN,
+            rng.gen_range(-10.0f32..10.0),
+        ];
+        let b: [f32; 4] = [
+            rng.gen_range(-10.0f32..10.0),
+            a[1],
+            1.0,
+            rng.gen_range(-10.0f32..10.0),
+        ];
+        let sse_gt = sse_sim::_mm_cmpgt_ps(a.into(), b.into());
+        let neon_gt = neon_sim::vcgtq_f32(a.into(), b.into());
+        assert_eq!(
+            neon_sim::vreinterpretq_u32_f32(sse_gt),
+            neon_gt,
+            "a {a:?} b {b:?}"
+        );
+        let sse_ge = sse_sim::_mm_cmpge_ps(a.into(), b.into());
+        let neon_ge = neon_sim::vcgeq_f32(a.into(), b.into());
+        assert_eq!(neon_sim::vreinterpretq_u32_f32(sse_ge), neon_ge);
+    }
+}
+
+#[test]
+fn unpack_equals_zip() {
+    let mut rng = rng();
+    for _ in 0..TRIALS {
+        let a: [i16; 8] = rng.gen();
+        let b: [i16; 8] = rng.gen();
+        let lo = sse_sim::_mm_unpacklo_epi16(
+            sse_sim::__m128i::from_i16(a.into()),
+            sse_sim::__m128i::from_i16(b.into()),
+        )
+        .as_i16();
+        let hi = sse_sim::_mm_unpackhi_epi16(
+            sse_sim::__m128i::from_i16(a.into()),
+            sse_sim::__m128i::from_i16(b.into()),
+        )
+        .as_i16();
+        let zip = neon_sim::vzipq_s16(a.into(), b.into());
+        assert_eq!(lo, zip.val[0]);
+        assert_eq!(hi, zip.val[1]);
+    }
+}
+
+#[test]
+fn paper_convert_loop_bit_exact_across_isas() {
+    // The full benchmark-1 inner loop, SSE2 flavour vs NEON flavour, on a
+    // shared pseudo-image row: identical i16 output required.
+    let mut rng = rng();
+    let width = 512;
+    let src: Vec<f32> = (0..width)
+        .map(|_| rng.gen_range(-40000.0f32..40000.0))
+        .collect();
+    let mut dst_sse = vec![0i16; width];
+    let mut dst_neon = vec![0i16; width];
+
+    // SSE2 path (paper listing).
+    let mut x = 0;
+    while x + 8 <= width {
+        let s0 = sse_sim::_mm_loadu_ps(&src[x..]);
+        let i0 = sse_sim::_mm_cvtps_epi32(s0);
+        let s1 = sse_sim::_mm_loadu_ps(&src[x + 4..]);
+        let i1 = sse_sim::_mm_cvtps_epi32(s1);
+        let packed = sse_sim::_mm_packs_epi32(i0, i1);
+        sse_sim::_mm_storeu_si128(&mut dst_sse[x..], packed);
+        x += 8;
+    }
+
+    // NEON path (paper listing, with the rounding cvt for bit-exactness).
+    let mut x = 0;
+    while x + 8 <= width {
+        let s0 = neon_sim::vld1q_f32(&src[x..]);
+        let i0 = neon_sim::vcvtnq_s32_f32(s0);
+        let n0 = neon_sim::vqmovn_s32(i0);
+        let s1 = neon_sim::vld1q_f32(&src[x + 4..]);
+        let i1 = neon_sim::vcvtnq_s32_f32(s1);
+        let n1 = neon_sim::vqmovn_s32(i1);
+        let res = neon_sim::vcombine_s16(n0, n1);
+        neon_sim::vst1q_s16(&mut dst_neon[x..], res);
+        x += 8;
+    }
+
+    assert_eq!(dst_sse, dst_neon);
+    // And both match the scalar cvRound + saturate reference.
+    for (i, &v) in src.iter().enumerate() {
+        let expect = simd_vector::rounding::saturate_f32_to_i16(v);
+        assert_eq!(dst_sse[i], expect, "pixel {i} value {v}");
+    }
+}

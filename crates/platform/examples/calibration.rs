@@ -1,0 +1,43 @@
+//! Prints the predicted speed-up matrix used to calibrate the platform
+//! model against the paper's reported bands.
+//!
+//! Run: `cargo run -p platform-model --example calibration`
+
+use pixelimage::Resolution;
+use platform_model::{all_platforms, predict_seconds, speedup, Kernel, Strategy};
+
+fn main() {
+    for kernel in Kernel::ALL {
+        println!("\n== {:?} (8 Mpx speed-ups) ==", kernel);
+        for p in all_platforms() {
+            let auto = predict_seconds(&p, kernel, Strategy::Auto, Resolution::Mp8);
+            let hand = predict_seconds(&p, kernel, Strategy::Hand, Resolution::Mp8);
+            println!(
+                "  {:<14} AUTO {:8.3}s  HAND {:8.3}s  speedup {:5.2}x",
+                p.short,
+                auto,
+                hand,
+                speedup(&p, kernel, Resolution::Mp8)
+            );
+        }
+    }
+    println!("\n== absolute HAND time ratios (paper sanity anchors) ==");
+    let get = |name: &str| platform_model::platform_by_name(name).unwrap();
+    let t = |p: &platform_model::PlatformSpec, k| {
+        predict_seconds(p, k, Strategy::Hand, Resolution::Mp8)
+    };
+    let atom = get("Atom-D510");
+    let i7 = get("i7-2820QM");
+    let i5 = get("i5-3360M");
+    let ex = get("Exynos-4412");
+    let ex3110 = get("Exynos-3110");
+    for k in Kernel::ALL {
+        println!(
+            "  {:?}: atom/i7 {:.1}  exynos4412/i5 {:.1}  exynos3110/atom {:.1}",
+            k,
+            t(&atom, k) / t(&i7, k),
+            t(&ex, k) / t(&i5, k),
+            t(&ex3110, k) / t(&atom, k),
+        );
+    }
+}

@@ -1,0 +1,383 @@
+//! Set-associative LRU cache simulator.
+//!
+//! Used to validate the analytic traffic assumptions in
+//! [`crate::workload::dram_bytes_per_pixel`] — specifically, that a
+//! separable filter's `ksize`-row vertical working set is captured by the
+//! last-level cache at the paper's image widths — and available for cache
+//! ablation experiments.
+
+/// A single-level set-associative cache with true-LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    /// Line size in bytes (power of two).
+    line_bytes: usize,
+    sets: usize,
+    ways: usize,
+    /// `tags[set][way]`; `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags`.
+    stamps: Vec<u64>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates a cache of `size_kb` KiB with the given associativity and
+    /// line size. `size_kb * 1024` must be divisible by `ways *
+    /// line_bytes`.
+    pub fn new(size_kb: usize, ways: usize, line_bytes: usize) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be 2^n");
+        assert!(ways >= 1);
+        let total = size_kb * 1024;
+        assert_eq!(
+            total % (ways * line_bytes),
+            0,
+            "size not divisible into {ways} ways of {line_bytes}B lines"
+        );
+        let sets = total / (ways * line_bytes);
+        Cache {
+            line_bytes,
+            sets,
+            ways,
+            tags: vec![u64::MAX; sets * ways],
+            stamps: vec![0; sets * ways],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.sets * self.ways * self.line_bytes
+    }
+
+    /// Accesses one byte address; returns `true` on hit. Misses allocate
+    /// (write-allocate, no distinction between reads and writes — adequate
+    /// for traffic estimation).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let line = addr / self.line_bytes as u64;
+        let set = (line % self.sets as u64) as usize;
+        let tag = line / self.sets as u64;
+        let base = set * self.ways;
+        // Hit?
+        for way in 0..self.ways {
+            if self.tags[base + way] == tag {
+                self.stamps[base + way] = self.clock;
+                self.hits += 1;
+                return true;
+            }
+        }
+        // Miss: evict LRU.
+        self.misses += 1;
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for way in 0..self.ways {
+            if self.tags[base + way] == u64::MAX {
+                victim = way;
+                break;
+            }
+            if self.stamps[base + way] < oldest {
+                oldest = self.stamps[base + way];
+                victim = way;
+            }
+        }
+        self.tags[base + victim] = tag;
+        self.stamps[base + victim] = self.clock;
+        false
+    }
+
+    /// Accesses a byte range (e.g. one vector load), counting each line
+    /// once.
+    pub fn access_range(&mut self, addr: u64, len: usize) {
+        let first = addr / self.line_bytes as u64;
+        let last = (addr + len as u64 - 1) / self.line_bytes as u64;
+        for line in first..=last {
+            self.access(line * self.line_bytes as u64);
+        }
+    }
+
+    /// Hit count so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss ratio over all accesses (0 when no accesses yet).
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Bytes fetched from the next level (misses × line size).
+    pub fn dram_bytes(&self) -> u64 {
+        self.misses * self.line_bytes as u64
+    }
+
+    /// Resets statistics (contents retained).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+/// Simulates the vertical pass of a `ksize`-tap separable filter over a
+/// `width × height` image of `elem` byte elements through `cache`,
+/// returning DRAM bytes per output pixel. This is the experiment behind
+/// the analytic row-capture rule in `workload`.
+pub fn filter_vertical_traffic(
+    cache: &mut Cache,
+    width: usize,
+    height: usize,
+    elem: usize,
+    ksize: usize,
+) -> f64 {
+    cache.reset_stats();
+    let radius = ksize / 2;
+    let row_bytes = (width * elem) as u64;
+    for y in 0..height {
+        for k in 0..ksize {
+            let yy = (y + k).saturating_sub(radius).min(height - 1);
+            // Touch the tap row sequentially.
+            let base = yy as u64 * row_bytes;
+            let mut x = 0;
+            while x < width * elem {
+                cache.access(base + x as u64);
+                x += cache.line_bytes;
+            }
+        }
+    }
+    cache.dram_bytes() as f64 / (width * height) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_geometry() {
+        let c = Cache::new(32, 8, 64);
+        assert_eq!(c.capacity_bytes(), 32 * 1024);
+        assert_eq!(c.sets(), 64);
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = Cache::new(4, 2, 64);
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63)); // same line
+        assert!(!c.access(64)); // next line
+        assert_eq!(c.misses(), 2);
+        assert_eq!(c.hits(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 2-way, map three conflicting lines into one set.
+        let mut c = Cache::new(4, 2, 64);
+        let stride = (c.sets() * 64) as u64; // same set, different tags
+        assert!(!c.access(0));
+        assert!(!c.access(stride));
+        assert!(c.access(0)); // refresh line 0
+        assert!(!c.access(2 * stride)); // evicts `stride` (LRU)
+        assert!(c.access(0)); // still resident
+        assert!(!c.access(stride)); // was evicted
+    }
+
+    #[test]
+    fn streaming_through_small_cache_misses_every_line() {
+        let mut c = Cache::new(4, 4, 64);
+        let lines = 1000;
+        for i in 0..lines {
+            c.access(i * 64);
+        }
+        assert_eq!(c.misses(), lines);
+        assert_eq!(c.miss_ratio(), 1.0);
+    }
+
+    #[test]
+    fn access_range_counts_straddling_lines() {
+        let mut c = Cache::new(4, 4, 64);
+        c.access_range(60, 8); // straddles two lines
+        assert_eq!(c.misses() + c.hits(), 2);
+    }
+
+    #[test]
+    fn filter_rows_captured_by_big_cache() {
+        // 7 rows of a 640-wide u16 image = 8.75 KB; a 256 KB cache keeps
+        // them resident, so each mid row is fetched once: ~2 bytes/pixel.
+        let mut cache = Cache::new(256, 8, 64);
+        let traffic = filter_vertical_traffic(&mut cache, 640, 64, 2, 7);
+        assert!(
+            traffic < 2.6,
+            "expected near-2 B/px with row reuse, got {traffic}"
+        );
+    }
+
+    #[test]
+    fn filter_rows_thrash_tiny_cache() {
+        // The same pass through a 4 KB cache re-fetches tap rows: ~7x the
+        // traffic.
+        let mut cache = Cache::new(4, 4, 64);
+        let traffic = filter_vertical_traffic(&mut cache, 640, 64, 2, 7);
+        assert!(
+            traffic > 10.0,
+            "expected thrashing traffic, got {traffic}"
+        );
+    }
+}
+
+/// A two-level cache hierarchy (L1 backed by L2), modelling the Table I
+/// platforms' structure (none of them has an L3 except the Sandy/Ivy Bridge
+/// laptops, where `l2` here plays the last-level role).
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    l1: Cache,
+    l2: Cache,
+    l1_hits: u64,
+    l2_hits: u64,
+    dram_accesses: u64,
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy from (size KiB, ways) pairs with a shared line
+    /// size.
+    pub fn new(l1_kb: usize, l1_ways: usize, l2_kb: usize, l2_ways: usize, line: usize) -> Self {
+        assert!(l2_kb >= l1_kb, "L2 must be at least as large as L1");
+        Hierarchy {
+            l1: Cache::new(l1_kb, l1_ways, line),
+            l2: Cache::new(l2_kb, l2_ways, line),
+            l1_hits: 0,
+            l2_hits: 0,
+            dram_accesses: 0,
+        }
+    }
+
+    /// Accesses one byte address; returns the level that served it
+    /// (1, 2, or 3 = DRAM).
+    pub fn access(&mut self, addr: u64) -> u8 {
+        if self.l1.access(addr) {
+            self.l1_hits += 1;
+            1
+        } else if self.l2.access(addr) {
+            self.l2_hits += 1;
+            2
+        } else {
+            self.dram_accesses += 1;
+            3
+        }
+    }
+
+    /// L1 hit count.
+    pub fn l1_hits(&self) -> u64 {
+        self.l1_hits
+    }
+
+    /// L2 hit count (L1 misses served by L2).
+    pub fn l2_hits(&self) -> u64 {
+        self.l2_hits
+    }
+
+    /// Accesses that went all the way to DRAM.
+    pub fn dram_accesses(&self) -> u64 {
+        self.dram_accesses
+    }
+
+    /// DRAM bytes fetched (misses × L2 line size).
+    pub fn dram_bytes(&self) -> u64 {
+        self.l2.dram_bytes()
+    }
+
+    /// Average memory access time in cycles given per-level latencies.
+    pub fn amat(&self, l1_cycles: f64, l2_cycles: f64, dram_cycles: f64) -> f64 {
+        let total = self.l1_hits + self.l2_hits + self.dram_accesses;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.l1_hits as f64 * l1_cycles
+            + self.l2_hits as f64 * l2_cycles
+            + self.dram_accesses as f64 * dram_cycles)
+            / total as f64
+    }
+}
+
+#[cfg(test)]
+mod hierarchy_tests {
+    use super::*;
+
+    #[test]
+    fn small_working_set_lives_in_l1() {
+        let mut h = Hierarchy::new(32, 8, 1024, 8, 64);
+        // 16 KB working set, touched 10 times.
+        for _ in 0..10 {
+            let mut addr = 0u64;
+            while addr < 16 * 1024 {
+                h.access(addr);
+                addr += 64;
+            }
+        }
+        // After the first pass, everything hits in L1.
+        assert_eq!(h.dram_accesses(), 256);
+        assert!(h.l1_hits() >= 9 * 256);
+    }
+
+    #[test]
+    fn medium_working_set_lives_in_l2() {
+        let mut h = Hierarchy::new(4, 4, 512, 8, 64);
+        // 128 KB working set: too big for the 4 KB L1, fits the 512 KB L2.
+        let lines = (128 * 1024) / 64;
+        for _ in 0..4 {
+            for i in 0..lines {
+                h.access(i * 64);
+            }
+        }
+        assert_eq!(h.dram_accesses(), lines); // compulsory only
+        assert!(h.l2_hits() >= 3 * lines - lines / 10, "l2 hits {}", h.l2_hits());
+    }
+
+    #[test]
+    fn huge_stream_goes_to_dram() {
+        let mut h = Hierarchy::new(32, 8, 256, 8, 64);
+        // 8 MB stream, each line once — no reuse at all.
+        let lines = (8 * 1024 * 1024) / 64;
+        for i in 0..lines {
+            h.access(i * 64);
+        }
+        assert_eq!(h.dram_accesses(), lines);
+        assert_eq!(h.l1_hits(), 0);
+        assert_eq!(h.l2_hits(), 0);
+    }
+
+    #[test]
+    fn amat_weights_levels() {
+        let mut h = Hierarchy::new(32, 8, 1024, 8, 64);
+        h.access(0); // DRAM
+        h.access(0); // L1
+        h.access(0); // L1
+        h.access(0); // L1
+        let amat = h.amat(1.0, 10.0, 100.0);
+        assert!((amat - (3.0 * 1.0 + 100.0) / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "L2 must be at least as large")]
+    fn inverted_hierarchy_rejected() {
+        let _ = Hierarchy::new(1024, 8, 32, 8, 64);
+    }
+}

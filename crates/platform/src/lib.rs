@@ -1,0 +1,40 @@
+//! Trace-driven, cycle-approximate models of the paper's ten evaluation
+//! platforms (Table I).
+//!
+//! The reproduction cannot run on an Intel Atom D510 or a Samsung Exynos
+//! 3110; this crate is the documented substitution. Each platform is
+//! described by microarchitectural parameters (clock, in-order vs
+//! out-of-order, scalar IPC, SIMD issue cost, library-call latency, cache
+//! geometry, sustainable DRAM streaming bandwidth), and each (kernel,
+//! strategy) pair is described by a per-pixel instruction mix:
+//!
+//! * **HAND** mixes are *measured* — the actual intrinsic kernels from
+//!   `simdbench-core` are executed through the simulated `sse-sim`/
+//!   `neon-sim` surfaces under an `op_trace` recorder.
+//! * **AUTO** mixes are *modelled* from the paper's own Section V
+//!   disassembly of gcc 4.6 output (e.g. the per-pixel `lrint` library call
+//!   in the ARM float→short loop), with each stream documented in
+//!   [`workload`].
+//!
+//! [`predict`] combines mix, pipeline and memory models into estimated
+//! runtimes; the `repro-harness` crate renders those into the paper's
+//! Table II / Table III and Figures 2–6. Absolute seconds are *estimates* —
+//! the claims tested are the paper's *shapes*: who wins, by what factor,
+//! and where the outliers (Atom, Tegra T30) sit.
+
+#![warn(missing_docs)]
+
+pub mod autovec;
+pub mod cache;
+pub mod energy;
+pub mod memory;
+pub mod pipeline;
+pub mod platforms;
+pub mod predict;
+pub mod spec;
+pub mod workload;
+
+pub use platforms::{all_platforms, platform_by_name};
+pub use predict::{predict_seconds, speedup, Prediction};
+pub use spec::{Isa, Microarch, PlatformSpec};
+pub use workload::{Kernel, Strategy};

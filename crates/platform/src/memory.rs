@@ -1,0 +1,55 @@
+//! DRAM streaming model.
+//!
+//! The benchmarked kernels stream megapixel images that dwarf every cache
+//! in Table I, so the memory system contribution is modelled as sustained
+//! streaming: `bytes / stream_gbps`, with the platform's effective
+//! single-thread copy bandwidth (not the bus peak).
+
+use crate::spec::PlatformSpec;
+
+/// DRAM cycles per output pixel given bytes moved per pixel.
+pub fn dram_cycles_per_pixel(bytes_per_pixel: f64, p: &PlatformSpec) -> f64 {
+    bytes_per_pixel * p.dram_cycles_per_byte()
+}
+
+/// Seconds to stream `bytes` on this platform.
+pub fn stream_seconds(bytes: f64, p: &PlatformSpec) -> f64 {
+    bytes / (p.stream_gbps * 1e9)
+}
+
+/// Arithmetic intensity (ops per DRAM byte) — the roofline classifier for
+/// the discussion tables.
+pub fn arithmetic_intensity(ops_per_pixel: f64, bytes_per_pixel: f64) -> f64 {
+    if bytes_per_pixel == 0.0 {
+        f64::INFINITY
+    } else {
+        ops_per_pixel / bytes_per_pixel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platforms::{core_i5_3360m, exynos_3110};
+
+    #[test]
+    fn dram_cycles_scale_with_clock_over_bandwidth() {
+        let p = exynos_3110(); // 1.0 GHz, 0.9 GB/s
+        let cpp = dram_cycles_per_pixel(6.0, &p);
+        assert!((cpp - 6.0 * (1.0 / 0.9)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn laptops_stream_much_faster_than_phones() {
+        let i5 = core_i5_3360m();
+        let phone = exynos_3110();
+        let bytes = 23.0e6; // one 8 Mpx frame's worth
+        assert!(stream_seconds(bytes, &i5) * 10.0 < stream_seconds(bytes, &phone));
+    }
+
+    #[test]
+    fn intensity() {
+        assert_eq!(arithmetic_intensity(6.0, 2.0), 3.0);
+        assert_eq!(arithmetic_intensity(6.0, 0.0), f64::INFINITY);
+    }
+}

@@ -1,0 +1,144 @@
+//! Pipeline cost model: instruction mix → compute cycles per pixel.
+//!
+//! The model is deliberately coarse — a handful of per-class issue costs —
+//! because the paper's phenomena live at that granularity:
+//!
+//! * In-order cores (Atom, Cortex-A8) issue roughly one useful scalar op
+//!   per cycle, pay load-use stalls they cannot schedule around, and
+//!   serialise around library calls. That is why they show the largest
+//!   HAND speed-ups.
+//! * Out-of-order cores overlap independent scalar work (`ilp` sustained
+//!   IPC) and fold most address arithmetic into free slots.
+//! * SIMD ops are charged by the vector unit's issue rate
+//!   (`simd_op_cycles`): 1 op/cycle on full-width Intel units, every other
+//!   cycle on the 64-bit Cortex-A8/A9 NEON datapath, and slower still on
+//!   the Tegra T30 (the paper's measured outlier).
+
+use crate::spec::{Microarch, PlatformSpec};
+use crate::workload::PixelMix;
+use op_trace::OpClass;
+
+/// Fraction of address-arithmetic ops an out-of-order core retires in
+/// otherwise-idle issue slots.
+const OOO_ADDR_DISCOUNT: f64 = 0.3;
+
+/// Pipeline inefficiency factor for in-order issue (dependency bubbles the
+/// coarse model does not track individually).
+const IN_ORDER_BUBBLE_FACTOR: f64 = 1.1;
+
+/// Compute cycles per output pixel for a mix on a platform (memory system
+/// excluded — see [`crate::memory`]).
+pub fn compute_cycles_per_pixel(mix: &PixelMix, p: &PlatformSpec) -> f64 {
+    let simd = mix.simd_total() * p.simd_op_cycles;
+    let scalar = mix.scalar_total() / p.uarch.scalar_ipc();
+    let branch = mix.get(OpClass::Branch) * p.branch_cycles;
+    let libcall = mix.get(OpClass::LibCall) * p.libcall_cycles;
+    match p.uarch {
+        Microarch::InOrder => {
+            let addr = mix.get(OpClass::AddrArith);
+            // Load-use delays bite on scalar pointer-chasing code; the SIMD
+            // streaming loads pipeline behind the wide loads/prefetchers.
+            let scalar_mem =
+                mix.get(OpClass::ScalarLoad) + mix.get(OpClass::ScalarStore);
+            let stalls = scalar_mem * p.load_use_stall;
+            (simd + scalar + addr + branch + stalls) * IN_ORDER_BUBBLE_FACTOR + libcall
+        }
+        Microarch::OutOfOrder { ilp } => {
+            let addr = mix.get(OpClass::AddrArith) * OOO_ADDR_DISCOUNT / ilp;
+            simd + scalar + addr + branch + libcall
+        }
+    }
+}
+
+/// Which resource dominates a kernel's runtime on a platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// The core's issue/execute rate limits throughput.
+    Compute,
+    /// DRAM streaming bandwidth limits throughput.
+    Memory,
+}
+
+/// Combines compute and DRAM cycle costs into total cycles per pixel.
+///
+/// Out-of-order cores overlap computation with outstanding misses, so total
+/// ≈ max(compute, memory) with a small interference term. In-order cores
+/// expose most of the memory time: total ≈ compute + 80 % of memory.
+pub fn total_cycles_per_pixel(
+    compute_cpp: f64,
+    dram_cpp: f64,
+    p: &PlatformSpec,
+) -> (f64, Bound) {
+    let total = match p.uarch {
+        Microarch::InOrder => compute_cpp + 0.6 * dram_cpp,
+        Microarch::OutOfOrder { .. } => {
+            compute_cpp.max(dram_cpp) + 0.15 * compute_cpp.min(dram_cpp)
+        }
+    };
+    let bound = if compute_cpp >= dram_cpp {
+        Bound::Compute
+    } else {
+        Bound::Memory
+    };
+    (total, bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platforms::{atom_d510, core_i7_2820qm, exynos_3110, exynos_4412};
+    use op_trace::OpClass::*;
+
+    #[test]
+    fn libcalls_dominate_in_order_scalar_loops() {
+        let p = exynos_3110();
+        let with_call = PixelMix::from_pairs(&[(ScalarAlu, 5.0), (LibCall, 1.0)]);
+        let without = PixelMix::from_pairs(&[(ScalarAlu, 5.0)]);
+        let a = compute_cycles_per_pixel(&with_call, &p);
+        let b = compute_cycles_per_pixel(&without, &p);
+        assert!(a > b + 0.9 * p.libcall_cycles);
+    }
+
+    #[test]
+    fn ooo_overlaps_scalar_work() {
+        let mix = PixelMix::from_pairs(&[(ScalarAlu, 10.0), (AddrArith, 4.0)]);
+        let in_order = compute_cycles_per_pixel(&mix, &atom_d510());
+        let ooo = compute_cycles_per_pixel(&mix, &core_i7_2820qm());
+        assert!(
+            in_order > 2.0 * ooo,
+            "in-order {in_order:.2} vs OoO {ooo:.2}"
+        );
+    }
+
+    #[test]
+    fn arm_simd_costs_twice_intel() {
+        let mix = PixelMix::from_pairs(&[(SimdAlu, 4.0)]);
+        let intel = compute_cycles_per_pixel(&mix, &core_i7_2820qm());
+        let arm = compute_cycles_per_pixel(&mix, &exynos_4412());
+        assert!((intel - 4.0).abs() < 1e-9);
+        assert!((arm - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn in_order_pays_load_use_stalls() {
+        let p = atom_d510();
+        let mix = PixelMix::from_pairs(&[(ScalarLoad, 2.0), (ScalarAlu, 1.0)]);
+        let cycles = compute_cycles_per_pixel(&mix, &p);
+        // 3 scalar ops + 2 loads * 1.5 stall, times bubble factor.
+        let expect = (3.0 + 2.0 * p.load_use_stall) * IN_ORDER_BUBBLE_FACTOR;
+        assert!((cycles - expect).abs() < 1e-9, "{cycles} vs {expect}");
+    }
+
+    #[test]
+    fn total_combines_by_uarch() {
+        let in_order = atom_d510();
+        let ooo = core_i7_2820qm();
+        let (t_in, _) = total_cycles_per_pixel(4.0, 3.0, &in_order);
+        assert!((t_in - (4.0 + 1.8)).abs() < 1e-9);
+        let (t_ooo, bound) = total_cycles_per_pixel(4.0, 3.0, &ooo);
+        assert!((t_ooo - (4.0 + 0.45)).abs() < 1e-9);
+        assert_eq!(bound, Bound::Compute);
+        let (_, bound2) = total_cycles_per_pixel(1.0, 3.0, &ooo);
+        assert_eq!(bound2, Bound::Memory);
+    }
+}

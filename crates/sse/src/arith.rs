@@ -1,0 +1,355 @@
+//! Arithmetic intrinsics (category *b*).
+
+use crate::types::{__m128, __m128d, __m128i};
+use op_trace::{count, OpClass};
+use simd_vector::U16x8;
+
+macro_rules! ps_binop {
+    ($(#[$meta:meta])* $name:ident, $method:ident) => {
+        $(#[$meta])*
+        #[inline]
+        pub fn $name(a: __m128, b: __m128) -> __m128 {
+            count(OpClass::SimdAlu);
+            a.$method(b)
+        }
+    };
+}
+
+ps_binop!(
+    /// `addps` — lane-wise single-precision addition.
+    _mm_add_ps, add
+);
+ps_binop!(
+    /// `subps` — lane-wise single-precision subtraction.
+    _mm_sub_ps, sub
+);
+ps_binop!(
+    /// `mulps` — lane-wise single-precision multiplication.
+    _mm_mul_ps, mul
+);
+ps_binop!(
+    /// `divps` — lane-wise single-precision division.
+    _mm_div_ps, div
+);
+ps_binop!(
+    /// `minps` — lane-wise minimum (second operand on NaN).
+    _mm_min_ps, min
+);
+ps_binop!(
+    /// `maxps` — lane-wise maximum (second operand on NaN).
+    _mm_max_ps, max
+);
+
+/// `sqrtps` — lane-wise square root.
+#[inline]
+pub fn _mm_sqrt_ps(a: __m128) -> __m128 {
+    count(OpClass::SimdAlu);
+    a.sqrt()
+}
+
+/// `rcpps` — reciprocal estimate (exact in the sim; see `simd-vector`).
+#[inline]
+pub fn _mm_rcp_ps(a: __m128) -> __m128 {
+    count(OpClass::SimdAlu);
+    a.recip_estimate()
+}
+
+/// `rsqrtps` — reciprocal square-root estimate (exact in the sim).
+#[inline]
+pub fn _mm_rsqrt_ps(a: __m128) -> __m128 {
+    count(OpClass::SimdAlu);
+    a.rsqrt_estimate()
+}
+
+macro_rules! pd_binop {
+    ($(#[$meta:meta])* $name:ident, $method:ident) => {
+        $(#[$meta])*
+        #[inline]
+        pub fn $name(a: __m128d, b: __m128d) -> __m128d {
+            count(OpClass::SimdAlu);
+            a.$method(b)
+        }
+    };
+}
+
+pd_binop!(
+    /// `addpd` — lane-wise double-precision addition.
+    _mm_add_pd, add
+);
+pd_binop!(
+    /// `subpd` — lane-wise double-precision subtraction.
+    _mm_sub_pd, sub
+);
+pd_binop!(
+    /// `mulpd` — lane-wise double-precision multiplication.
+    _mm_mul_pd, mul
+);
+pd_binop!(
+    /// `divpd` — lane-wise double-precision division (SSE2-only feature the
+    /// paper notes NEON lacks for doubles).
+    _mm_div_pd, div
+);
+pd_binop!(
+    /// `minpd` — lane-wise double minimum.
+    _mm_min_pd, min
+);
+pd_binop!(
+    /// `maxpd` — lane-wise double maximum.
+    _mm_max_pd, max
+);
+
+/// `sqrtpd` — lane-wise double square root.
+#[inline]
+pub fn _mm_sqrt_pd(a: __m128d) -> __m128d {
+    count(OpClass::SimdAlu);
+    a.sqrt()
+}
+
+macro_rules! epi_binop {
+    ($(#[$meta:meta])* $name:ident, $view:ident, $build:ident, $method:ident) => {
+        $(#[$meta])*
+        #[inline]
+        pub fn $name(a: __m128i, b: __m128i) -> __m128i {
+            count(OpClass::SimdAlu);
+            __m128i::$build(a.$view().$method(b.$view()))
+        }
+    };
+}
+
+epi_binop!(
+    /// `paddb` — wrapping 8-bit addition.
+    _mm_add_epi8, as_i8, from_i8, wrapping_add
+);
+epi_binop!(
+    /// `psubb` — wrapping 8-bit subtraction.
+    _mm_sub_epi8, as_i8, from_i8, wrapping_sub
+);
+epi_binop!(
+    /// `paddw` — wrapping 16-bit addition.
+    _mm_add_epi16, as_i16, from_i16, wrapping_add
+);
+epi_binop!(
+    /// `psubw` — wrapping 16-bit subtraction.
+    _mm_sub_epi16, as_i16, from_i16, wrapping_sub
+);
+epi_binop!(
+    /// `paddd` — wrapping 32-bit addition.
+    _mm_add_epi32, as_i32, from_i32, wrapping_add
+);
+epi_binop!(
+    /// `psubd` — wrapping 32-bit subtraction.
+    _mm_sub_epi32, as_i32, from_i32, wrapping_sub
+);
+epi_binop!(
+    /// `paddq` — wrapping 64-bit addition.
+    _mm_add_epi64, as_i64, from_i64, wrapping_add
+);
+epi_binop!(
+    /// `psubq` — wrapping 64-bit subtraction.
+    _mm_sub_epi64, as_i64, from_i64, wrapping_sub
+);
+epi_binop!(
+    /// `paddsb` — saturating signed 8-bit addition.
+    _mm_adds_epi8, as_i8, from_i8, saturating_add
+);
+epi_binop!(
+    /// `paddsw` — saturating signed 16-bit addition.
+    _mm_adds_epi16, as_i16, from_i16, saturating_add
+);
+epi_binop!(
+    /// `psubsw` — saturating signed 16-bit subtraction.
+    _mm_subs_epi16, as_i16, from_i16, saturating_sub
+);
+epi_binop!(
+    /// `paddusb` — saturating unsigned 8-bit addition.
+    _mm_adds_epu8, as_u8, from_u8, saturating_add
+);
+epi_binop!(
+    /// `psubusb` — saturating unsigned 8-bit subtraction.
+    _mm_subs_epu8, as_u8, from_u8, saturating_sub
+);
+epi_binop!(
+    /// `paddusw` — saturating unsigned 16-bit addition.
+    _mm_adds_epu16, as_u16, from_u16, saturating_add
+);
+epi_binop!(
+    /// `psubusw` — saturating unsigned 16-bit subtraction.
+    _mm_subs_epu16, as_u16, from_u16, saturating_sub
+);
+epi_binop!(
+    /// `pmullw` — low 16 bits of the 16-bit products.
+    _mm_mullo_epi16, as_i16, from_i16, wrapping_mul
+);
+epi_binop!(
+    /// `pmulhw` — high 16 bits of the signed 16-bit products.
+    _mm_mulhi_epi16, as_i16, from_i16, mul_high
+);
+epi_binop!(
+    /// `pmaxub` — unsigned 8-bit maximum.
+    _mm_max_epu8, as_u8, from_u8, max
+);
+epi_binop!(
+    /// `pminub` — unsigned 8-bit minimum.
+    _mm_min_epu8, as_u8, from_u8, min
+);
+epi_binop!(
+    /// `pmaxsw` — signed 16-bit maximum.
+    _mm_max_epi16, as_i16, from_i16, max
+);
+epi_binop!(
+    /// `pminsw` — signed 16-bit minimum.
+    _mm_min_epi16, as_i16, from_i16, min
+);
+epi_binop!(
+    /// `pavgb` — unsigned 8-bit rounding average.
+    _mm_avg_epu8, as_u8, from_u8, avg_round
+);
+epi_binop!(
+    /// `pavgw` — unsigned 16-bit rounding average.
+    _mm_avg_epu16, as_u16, from_u16, avg_round
+);
+
+/// `pmaddwd` — multiplies signed 16-bit lanes and adds adjacent pairs into
+/// 32-bit lanes. The workhorse of fixed-point convolution.
+#[inline]
+pub fn _mm_madd_epi16(a: __m128i, b: __m128i) -> __m128i {
+    count(OpClass::SimdAlu);
+    __m128i::from_i32(a.as_i16().madd(b.as_i16()))
+}
+
+/// `pmulhuw` — high 16 bits of the unsigned 16-bit products.
+#[inline]
+pub fn _mm_mulhi_epu16(a: __m128i, b: __m128i) -> __m128i {
+    count(OpClass::SimdAlu);
+    let av = a.as_u16();
+    let bv = b.as_u16();
+    __m128i::from_u16(av.zip(bv, |x, y| (((x as u32) * (y as u32)) >> 16) as u16))
+}
+
+/// `psadbw` — sum of absolute byte differences per 8-byte half, producing
+/// two 64-bit sums.
+#[inline]
+pub fn _mm_sad_epu8(a: __m128i, b: __m128i) -> __m128i {
+    count(OpClass::SimdAlu);
+    let d = a.as_u8().abs_diff(b.as_u8());
+    let lanes = d.to_array();
+    let lo: u64 = lanes[..8].iter().map(|&v| v as u64).sum();
+    let hi: u64 = lanes[8..].iter().map(|&v| v as u64).sum();
+    __m128i::from_u64(simd_vector::U64x2::new([lo, hi]))
+}
+
+/// `pmuludq` — multiplies the even unsigned 32-bit lanes into 64-bit
+/// products.
+#[inline]
+pub fn _mm_mul_epu32(a: __m128i, b: __m128i) -> __m128i {
+    count(OpClass::SimdAlu);
+    let av = a.as_u32();
+    let bv = b.as_u32();
+    __m128i::from_u64(simd_vector::U64x2::new([
+        (av.lane(0) as u64) * (bv.lane(0) as u64),
+        (av.lane(2) as u64) * (bv.lane(2) as u64),
+    ]))
+}
+
+/// Helper mirroring `_mm_avg_epu16` semantics on a raw `U16x8` (used by
+/// kernels that mix views).
+#[inline]
+pub fn avg_round_u16(a: U16x8, b: U16x8) -> U16x8 {
+    a.avg_round(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load_store::*;
+
+    #[test]
+    fn float_arith() {
+        let a = _mm_setr_ps(1.0, 2.0, 3.0, 4.0);
+        let b = _mm_set1_ps(2.0);
+        assert_eq!(_mm_add_ps(a, b).to_array(), [3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(_mm_mul_ps(a, b).to_array(), [2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(_mm_div_ps(a, b).to_array(), [0.5, 1.0, 1.5, 2.0]);
+        assert_eq!(_mm_sqrt_ps(_mm_set1_ps(9.0)).to_array(), [3.0; 4]);
+        assert_eq!(_mm_min_ps(a, b).to_array(), [1.0, 2.0, 2.0, 2.0]);
+        assert_eq!(_mm_max_ps(a, b).to_array(), [2.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn double_arith() {
+        let a = _mm_set1_pd(3.0);
+        let b = _mm_set_sd(1.5);
+        assert_eq!(_mm_add_pd(a, b).to_array(), [4.5, 3.0]);
+        assert_eq!(_mm_div_pd(a, _mm_set1_pd(2.0)).to_array(), [1.5, 1.5]);
+        assert_eq!(_mm_sqrt_pd(_mm_set1_pd(16.0)).to_array(), [4.0, 4.0]);
+    }
+
+    #[test]
+    fn saturating_vs_wrapping_u8() {
+        let a = _mm_loadu_si128(&[250u8; 16]);
+        let b = _mm_loadu_si128(&[10u8; 16]);
+        assert_eq!(_mm_adds_epu8(a, b).as_u8().lane(0), 255);
+        assert_eq!(_mm_add_epi8(a, b).as_u8().lane(0), 4);
+        assert_eq!(_mm_subs_epu8(b, a).as_u8().lane(0), 0);
+    }
+
+    #[test]
+    fn saturating_i16() {
+        let a = _mm_set1_epi16(i16::MAX);
+        let one = _mm_set1_epi16(1);
+        assert_eq!(_mm_adds_epi16(a, one).as_i16().lane(0), i16::MAX);
+        assert_eq!(_mm_add_epi16(a, one).as_i16().lane(0), i16::MIN);
+        let b = _mm_set1_epi16(i16::MIN);
+        assert_eq!(_mm_subs_epi16(b, one).as_i16().lane(0), i16::MIN);
+    }
+
+    #[test]
+    fn mul_lo_hi() {
+        let a = _mm_set1_epi16(300);
+        let b = _mm_set1_epi16(400);
+        // 300*400 = 120000 = 0x1D4C0; lo = 0xD4C0 (as i16 = -11072), hi = 1.
+        assert_eq!(_mm_mullo_epi16(a, b).as_i16().lane(0), 0xD4C0u16 as i16);
+        assert_eq!(_mm_mulhi_epi16(a, b).as_i16().lane(0), 1);
+    }
+
+    #[test]
+    fn madd_combines_pairs() {
+        let a = _mm_set_epi16(8, 7, 6, 5, 4, 3, 2, 1);
+        let b = _mm_set1_epi16(10);
+        assert_eq!(_mm_madd_epi16(a, b).as_i32().to_array(), [30, 70, 110, 150]);
+    }
+
+    #[test]
+    fn sad_sums_absolute_differences() {
+        let a = _mm_loadu_si128(&[10u8; 16]);
+        let mut lanes = [0u8; 16];
+        lanes[0] = 13; // |13-10| = 3
+        lanes[8] = 4; // |4-10| = 6
+        let b = _mm_loadu_si128(&lanes);
+        let r = _mm_sad_epu8(a, b).as_u64().to_array();
+        assert_eq!(r[0], 3 + 10 * 7);
+        assert_eq!(r[1], 6 + 10 * 7);
+    }
+
+    #[test]
+    fn unsigned_minmax_avg() {
+        let a = _mm_loadu_si128(&[200u8; 16]);
+        let b = _mm_loadu_si128(&[100u8; 16]);
+        assert_eq!(_mm_max_epu8(a, b).as_u8().lane(0), 200);
+        assert_eq!(_mm_min_epu8(a, b).as_u8().lane(0), 100);
+        assert_eq!(_mm_avg_epu8(a, b).as_u8().lane(0), 150);
+        // pavg rounds up: (1+2+1)/2 = 2
+        let one = _mm_loadu_si128(&[1u8; 16]);
+        let two = _mm_loadu_si128(&[2u8; 16]);
+        assert_eq!(_mm_avg_epu8(one, two).as_u8().lane(0), 2);
+    }
+
+    #[test]
+    fn mul_epu32_even_lanes() {
+        let a = _mm_setr_epi32(-1, 7, 3, 9); // -1 as u32 = 0xFFFF_FFFF
+        let b = _mm_setr_epi32(2, 8, 5, 10);
+        let r = _mm_mul_epu32(a, b).as_u64().to_array();
+        assert_eq!(r[0], 0xFFFF_FFFFu64 * 2);
+        assert_eq!(r[1], 15);
+    }
+}

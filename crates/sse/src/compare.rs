@@ -1,0 +1,189 @@
+//! Compare intrinsics (category *d*). Results are all-ones / all-zero masks
+//! in the same register class as the operands, exactly as on hardware.
+
+use crate::types::{cast, ps_from_bits, __m128, __m128d, __m128i};
+use op_trace::{count, OpClass};
+use simd_vector::{U32x4, U64x2};
+
+macro_rules! epi_cmp {
+    ($(#[$meta:meta])* $name:ident, $view:ident, $from:ident, $method:ident) => {
+        $(#[$meta])*
+        #[inline]
+        pub fn $name(a: __m128i, b: __m128i) -> __m128i {
+            count(OpClass::SimdAlu);
+            __m128i::$from(cast(a.$view().$method(b.$view())))
+        }
+    };
+}
+
+epi_cmp!(
+    /// `pcmpeqb` — signed 8-bit equality mask.
+    _mm_cmpeq_epi8, as_i8, from_u8, cmp_eq
+);
+epi_cmp!(
+    /// `pcmpgtb` — signed 8-bit greater-than mask.
+    _mm_cmpgt_epi8, as_i8, from_u8, cmp_gt
+);
+epi_cmp!(
+    /// `pcmpeqw` — 16-bit equality mask.
+    _mm_cmpeq_epi16, as_i16, from_u16, cmp_eq
+);
+epi_cmp!(
+    /// `pcmpgtw` — signed 16-bit greater-than mask.
+    _mm_cmpgt_epi16, as_i16, from_u16, cmp_gt
+);
+epi_cmp!(
+    /// `pcmpeqd` — 32-bit equality mask.
+    _mm_cmpeq_epi32, as_i32, from_u32, cmp_eq
+);
+epi_cmp!(
+    /// `pcmpgtd` — signed 32-bit greater-than mask.
+    _mm_cmpgt_epi32, as_i32, from_u32, cmp_gt
+);
+
+/// `pcmpgtb` with swapped operands — SSE2's `_mm_cmplt_epi8`.
+#[inline]
+pub fn _mm_cmplt_epi8(a: __m128i, b: __m128i) -> __m128i {
+    _mm_cmpgt_epi8(b, a)
+}
+
+/// `pcmpgtw` with swapped operands.
+#[inline]
+pub fn _mm_cmplt_epi16(a: __m128i, b: __m128i) -> __m128i {
+    _mm_cmpgt_epi16(b, a)
+}
+
+/// `pcmpgtd` with swapped operands.
+#[inline]
+pub fn _mm_cmplt_epi32(a: __m128i, b: __m128i) -> __m128i {
+    _mm_cmpgt_epi32(b, a)
+}
+
+macro_rules! ps_cmp {
+    ($(#[$meta:meta])* $name:ident, $method:ident) => {
+        $(#[$meta])*
+        #[inline]
+        pub fn $name(a: __m128, b: __m128) -> __m128 {
+            count(OpClass::SimdAlu);
+            ps_from_bits(a.$method(b))
+        }
+    };
+}
+
+ps_cmp!(
+    /// `cmpeqps` — float equality mask (NaN compares false).
+    _mm_cmpeq_ps, cmp_eq
+);
+ps_cmp!(
+    /// `cmpltps` — float less-than mask.
+    _mm_cmplt_ps, cmp_lt
+);
+ps_cmp!(
+    /// `cmpleps` — float less-or-equal mask.
+    _mm_cmple_ps, cmp_le
+);
+ps_cmp!(
+    /// `cmpgtps` — float greater-than mask.
+    _mm_cmpgt_ps, cmp_gt
+);
+ps_cmp!(
+    /// `cmpgeps` — float greater-or-equal mask.
+    _mm_cmpge_ps, cmp_ge
+);
+
+/// `cmpneqps` — float not-equal mask (true for NaN operands).
+#[inline]
+pub fn _mm_cmpneq_ps(a: __m128, b: __m128) -> __m128 {
+    count(OpClass::SimdAlu);
+    let eq = a.cmp_eq(b);
+    ps_from_bits(U32x4::new([
+        !eq.lane(0),
+        !eq.lane(1),
+        !eq.lane(2),
+        !eq.lane(3),
+    ]))
+}
+
+/// `cmpltpd` — double less-than mask.
+#[inline]
+pub fn _mm_cmplt_pd(a: __m128d, b: __m128d) -> __m128d {
+    count(OpClass::SimdAlu);
+    crate::types::pd_from_bits(a.cmp_lt(b))
+}
+
+/// `cmpgtpd` — double greater-than mask.
+#[inline]
+pub fn _mm_cmpgt_pd(a: __m128d, b: __m128d) -> __m128d {
+    count(OpClass::SimdAlu);
+    crate::types::pd_from_bits(a.cmp_gt(b))
+}
+
+/// `cmpeqpd` — double equality mask.
+#[inline]
+pub fn _mm_cmpeq_pd(a: __m128d, b: __m128d) -> __m128d {
+    count(OpClass::SimdAlu);
+    crate::types::pd_from_bits(a.cmp_eq(b))
+}
+
+/// Helper: builds a `pd` mask register from raw bits (used in tests).
+pub fn pd_mask(bits: [u64; 2]) -> __m128d {
+    crate::types::pd_from_bits(U64x2::new(bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load_store::*;
+
+    #[test]
+    fn epi8_signed_compare() {
+        // 200u8 is -56 as i8, so signed-gt treats it as small.
+        let a = _mm_loadu_si128(&[200u8; 16]);
+        let b = _mm_loadu_si128(&[100u8; 16]);
+        assert_eq!(_mm_cmpgt_epi8(a, b).as_u8().lane(0), 0x00);
+        assert_eq!(_mm_cmpgt_epi8(b, a).as_u8().lane(0), 0xFF);
+        assert_eq!(_mm_cmplt_epi8(a, b).as_u8().lane(0), 0xFF);
+    }
+
+    #[test]
+    fn epi16_epi32_compare() {
+        let a = _mm_set1_epi16(5);
+        let b = _mm_set1_epi16(5);
+        assert_eq!(_mm_cmpeq_epi16(a, b).as_u16().lane(0), 0xFFFF);
+        let c = _mm_set1_epi32(-1);
+        let d = _mm_set1_epi32(1);
+        assert_eq!(_mm_cmpgt_epi32(d, c).as_u32().lane(0), 0xFFFF_FFFF);
+        assert_eq!(_mm_cmpgt_epi32(c, d).as_u32().lane(0), 0);
+        assert_eq!(_mm_cmplt_epi32(c, d).as_u32().lane(0), 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn ps_compare_nan_behaviour() {
+        let a = _mm_setr_ps(1.0, f32::NAN, 3.0, 4.0);
+        let b = _mm_set1_ps(2.0);
+        let lt = crate::types::ps_to_bits(_mm_cmplt_ps(a, b));
+        assert_eq!(lt.to_array(), [u32::MAX, 0, 0, 0]);
+        let neq = crate::types::ps_to_bits(_mm_cmpneq_ps(a, b));
+        assert_eq!(neq.to_array(), [u32::MAX, u32::MAX, u32::MAX, u32::MAX]);
+        let eq = crate::types::ps_to_bits(_mm_cmpeq_ps(b, b));
+        assert_eq!(eq.to_array(), [u32::MAX; 4]);
+    }
+
+    #[test]
+    fn pd_compare() {
+        let a = _mm_set1_pd(1.0);
+        let b = _mm_set1_pd(2.0);
+        assert_eq!(
+            crate::types::pd_to_bits(_mm_cmplt_pd(a, b)).to_array(),
+            [u64::MAX, u64::MAX]
+        );
+        assert_eq!(
+            crate::types::pd_to_bits(_mm_cmpgt_pd(a, b)).to_array(),
+            [0, 0]
+        );
+        assert_eq!(
+            crate::types::pd_to_bits(_mm_cmpeq_pd(a, a)).to_array(),
+            [u64::MAX, u64::MAX]
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Conversion intrinsics (category *f*).
+
+use crate::types::{__m128, __m128d, __m128i};
+use op_trace::{count, OpClass};
+use simd_vector::rounding;
+use simd_vector::{F32x4, F64x2};
+
+/// `cvtps2dq` — four floats to four signed 32-bit integers, rounding to
+/// nearest (ties to even, the MXCSR default); out-of-range/NaN lanes become
+/// `0x8000_0000`.
+///
+/// This is the first conversion step of the paper's benchmark-1 SSE2 loop.
+///
+/// ```
+/// use sse_sim::{_mm_cvtps_epi32, _mm_setr_ps};
+/// let v = _mm_setr_ps(0.5, 1.5, 2.5, -2.5); // ties round to even
+/// assert_eq!(_mm_cvtps_epi32(v).as_i32().to_array(), [0, 2, 2, -2]);
+/// ```
+#[inline]
+pub fn _mm_cvtps_epi32(a: __m128) -> __m128i {
+    count(OpClass::SimdConvert);
+    __m128i::from_i32(a.to_i32_round_sse())
+}
+
+/// `cvttps2dq` — four floats to four signed 32-bit integers, truncating.
+#[inline]
+pub fn _mm_cvttps_epi32(a: __m128) -> __m128i {
+    count(OpClass::SimdConvert);
+    __m128i::from_i32(a.to_i32_truncate_sse())
+}
+
+/// `cvtdq2ps` — four signed 32-bit integers to floats.
+#[inline]
+pub fn _mm_cvtepi32_ps(a: __m128i) -> __m128 {
+    count(OpClass::SimdConvert);
+    a.as_i32().to_f32()
+}
+
+/// `cvtsd2si` — low double lane to `i32`, rounding ties to even. Together
+/// with [`crate::_mm_set_sd`] this is how OpenCV implements `cvRound` on
+/// SSE2 (the paper quotes the exact source).
+#[inline]
+pub fn _mm_cvtsd_si32(a: __m128d) -> i32 {
+    count(OpClass::SimdConvert);
+    rounding::cv_round_f64(a.lane(0))
+}
+
+/// `cvtps2pd` — low two float lanes widened to doubles.
+#[inline]
+pub fn _mm_cvtps_pd(a: __m128) -> __m128d {
+    count(OpClass::SimdConvert);
+    F64x2::new([a.lane(0) as f64, a.lane(1) as f64])
+}
+
+/// `cvtpd2ps` — two doubles narrowed to floats in the low lanes, high lanes
+/// zero.
+#[inline]
+pub fn _mm_cvtpd_ps(a: __m128d) -> __m128 {
+    count(OpClass::SimdConvert);
+    F32x4::new([a.lane(0) as f32, a.lane(1) as f32, 0.0, 0.0])
+}
+
+/// `cvtsi2ss` — replaces the low float lane with `b as f32`.
+#[inline]
+pub fn _mm_cvtsi32_ss(a: __m128, b: i32) -> __m128 {
+    count(OpClass::SimdConvert);
+    a.with_lane(0, b as f32)
+}
+
+/// `cvtss2si` — low float lane to `i32`, ties to even, SSE indefinite on
+/// overflow/NaN.
+#[inline]
+pub fn _mm_cvtss_si32(a: __m128) -> i32 {
+    count(OpClass::SimdConvert);
+    rounding::f32_to_i32_round_sse(a.lane(0))
+}
+
+/// `movss`-style lane read — returns the low float lane (register move, no
+/// memory traffic).
+#[inline]
+pub fn _mm_cvtss_f32(a: __m128) -> f32 {
+    count(OpClass::SimdAlu);
+    a.lane(0)
+}
+
+/// `movd` — zero-extends an `i32` into the low lane of an integer register.
+#[inline]
+pub fn _mm_cvtsi32_si128(v: i32) -> __m128i {
+    count(OpClass::SimdAlu);
+    __m128i::from_i32(simd_vector::I32x4::new([v, 0, 0, 0]))
+}
+
+/// `movd` to GPR — reads the low 32-bit lane.
+#[inline]
+pub fn _mm_cvtsi128_si32(a: __m128i) -> i32 {
+    count(OpClass::SimdAlu);
+    a.as_i32().lane(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load_store::*;
+
+    #[test]
+    fn cvtps_rounds_ties_to_even() {
+        let v = _mm_setr_ps(0.5, 1.5, 2.5, -2.5);
+        assert_eq!(_mm_cvtps_epi32(v).as_i32().to_array(), [0, 2, 2, -2]);
+    }
+
+    #[test]
+    fn cvttps_truncates() {
+        let v = _mm_setr_ps(1.9, -1.9, 0.5, -0.5);
+        assert_eq!(_mm_cvttps_epi32(v).as_i32().to_array(), [1, -1, 0, 0]);
+    }
+
+    #[test]
+    fn out_of_range_is_integer_indefinite() {
+        let v = _mm_setr_ps(3e9, -3e9, f32::NAN, 7.0);
+        assert_eq!(
+            _mm_cvtps_epi32(v).as_i32().to_array(),
+            [i32::MIN, i32::MIN, i32::MIN, 7]
+        );
+    }
+
+    #[test]
+    fn cvrround_path_matches_reference() {
+        // cvRound(value) = _mm_cvtsd_si32(_mm_set_sd(value)) per the paper.
+        for v in [-2.5f64, -1.5, -0.5, 0.5, 1.5, 2.5, 1e9, 123.456] {
+            let got = _mm_cvtsd_si32(_mm_set_sd(v));
+            assert_eq!(got, rounding::cv_round_f64(v), "value {v}");
+        }
+    }
+
+    #[test]
+    fn epi32_to_ps_and_back() {
+        let v = _mm_setr_epi32(-3, 0, 7, 1_000_000);
+        let f = _mm_cvtepi32_ps(v);
+        assert_eq!(f.to_array(), [-3.0, 0.0, 7.0, 1e6]);
+        assert_eq!(_mm_cvtps_epi32(f).as_i32().to_array(), v.as_i32().to_array());
+    }
+
+    #[test]
+    fn pd_ps_widen_narrow() {
+        let f = _mm_setr_ps(1.5, -2.5, 99.0, 98.0);
+        let d = _mm_cvtps_pd(f);
+        assert_eq!(d.to_array(), [1.5, -2.5]);
+        let back = _mm_cvtpd_ps(d);
+        assert_eq!(back.to_array(), [1.5, -2.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn scalar_moves() {
+        let r = _mm_cvtsi32_si128(-42);
+        assert_eq!(r.as_i32().to_array(), [-42, 0, 0, 0]);
+        assert_eq!(_mm_cvtsi128_si32(r), -42);
+        let f = _mm_cvtsi32_ss(_mm_set1_ps(9.0), 3);
+        assert_eq!(f.to_array(), [3.0, 9.0, 9.0, 9.0]);
+        assert_eq!(_mm_cvtss_f32(f), 3.0);
+        assert_eq!(_mm_cvtss_si32(_mm_set1_ps(2.5)), 2);
+    }
+
+    #[test]
+    fn conversions_count_as_simd_convert() {
+        let (_, mix) = op_trace::trace(|| {
+            let v = _mm_setr_ps(1.0, 2.0, 3.0, 4.0);
+            let _ = _mm_cvtps_epi32(v);
+            let _ = _mm_cvttps_epi32(v);
+        });
+        assert_eq!(mix.get(OpClass::SimdConvert), 2);
+    }
+}

@@ -1,0 +1,45 @@
+//! Software implementation of the Intel SSE2 intrinsic surface.
+//!
+//! Every public function mirrors one Intel intrinsic — same name, same lane
+//! semantics (per the Intel Intrinsics Guide) — implemented over the
+//! portable lane types of `simd-vector`. Two deliberate deviations from the
+//! C signatures keep the surface safe and testable:
+//!
+//! 1. Memory intrinsics take **slices** instead of raw pointers. Length is
+//!    checked; the `_mm_load_*`/`_mm_store_*` (aligned) variants also assert
+//!    16-byte alignment of the slice start, so alignment bugs that would
+//!    fault on real hardware panic in the sim.
+//! 2. Integer loads/stores are generic over the element type
+//!    (`_mm_loadu_si128(&src[x..])` with `src: &[i16]`), since Rust slices
+//!    are typed where C pointers are freely cast.
+//!
+//! Every call records one micro-op with [`op_trace`], so running a kernel
+//! under a `TraceGuard` measures its true instruction mix (the paper's
+//! Section V analysis).
+//!
+//! On x86_64 hosts the companion test-suite checks each simulated intrinsic
+//! against the genuine `core::arch::x86_64` instruction over random inputs.
+
+#![allow(non_camel_case_types)]
+#![warn(missing_docs)]
+// Lane-indexed `for i in 0..N` loops intentionally mirror the per-lane
+// pseudocode of the architecture reference manuals.
+#![allow(clippy::needless_range_loop)]
+
+pub mod arith;
+pub mod compare;
+pub mod convert;
+pub mod load_store;
+pub mod logical;
+pub mod pack;
+pub mod shift;
+pub mod types;
+
+pub use arith::*;
+pub use compare::*;
+pub use convert::*;
+pub use load_store::*;
+pub use logical::*;
+pub use pack::*;
+pub use shift::*;
+pub use types::{MemElem, __m128, __m128d, __m128i};

@@ -1,0 +1,375 @@
+//! Data-movement intrinsics (category *a* of the paper's taxonomy).
+
+use crate::types::{assert_aligned, read_q, write_q, MemElem, __m128, __m128d, __m128i};
+use op_trace::{count, OpClass};
+use simd_vector::{F32x4, F64x2, I16x8, I32x4, I8x16, U8x16};
+
+// ---------------------------------------------------------------------------
+// Loads
+// ---------------------------------------------------------------------------
+
+/// `movups` — loads four floats from the front of `src`, no alignment
+/// requirement.
+#[inline]
+#[track_caller]
+pub fn _mm_loadu_ps(src: &[f32]) -> __m128 {
+    count(OpClass::SimdLoad);
+    F32x4::load(src)
+}
+
+/// `movaps` — aligned load of four floats; panics when `src` is not 16-byte
+/// aligned (hardware would #GP).
+#[inline]
+#[track_caller]
+pub fn _mm_load_ps(src: &[f32]) -> __m128 {
+    assert_aligned(src.as_ptr());
+    count(OpClass::SimdLoad);
+    F32x4::load(src)
+}
+
+/// `movupd` — unaligned load of two doubles.
+#[inline]
+#[track_caller]
+pub fn _mm_loadu_pd(src: &[f64]) -> __m128d {
+    count(OpClass::SimdLoad);
+    F64x2::load(src)
+}
+
+/// `movdqu` — unaligned 128-bit integer load, element type chosen by the
+/// slice (`u8`, `i16`, `i32`, ...).
+#[inline]
+#[track_caller]
+pub fn _mm_loadu_si128<T: MemElem>(src: &[T]) -> __m128i {
+    count(OpClass::SimdLoad);
+    __m128i(read_q(src))
+}
+
+/// `movdqa` — aligned 128-bit integer load.
+#[inline]
+#[track_caller]
+pub fn _mm_load_si128<T: MemElem>(src: &[T]) -> __m128i {
+    assert_aligned(src.as_ptr());
+    count(OpClass::SimdLoad);
+    __m128i(read_q(src))
+}
+
+/// `movsd` — loads one double into the low lane, zeroing the high lane.
+#[inline]
+#[track_caller]
+pub fn _mm_load_sd(src: &[f64]) -> __m128d {
+    count(OpClass::SimdLoad);
+    F64x2::new([src[0], 0.0])
+}
+
+// ---------------------------------------------------------------------------
+// Stores
+// ---------------------------------------------------------------------------
+
+/// `movups` to memory — stores four floats, no alignment requirement.
+#[inline]
+#[track_caller]
+pub fn _mm_storeu_ps(dst: &mut [f32], v: __m128) {
+    count(OpClass::SimdStore);
+    v.store(dst);
+}
+
+/// `movaps` to memory — aligned store of four floats.
+#[inline]
+#[track_caller]
+pub fn _mm_store_ps(dst: &mut [f32], v: __m128) {
+    assert_aligned(dst.as_ptr());
+    count(OpClass::SimdStore);
+    v.store(dst);
+}
+
+/// `movupd` to memory — stores two doubles.
+#[inline]
+#[track_caller]
+pub fn _mm_storeu_pd(dst: &mut [f64], v: __m128d) {
+    count(OpClass::SimdStore);
+    v.store(dst);
+}
+
+/// `movdqu` to memory — unaligned 128-bit integer store.
+#[inline]
+#[track_caller]
+pub fn _mm_storeu_si128<T: MemElem>(dst: &mut [T], v: __m128i) {
+    count(OpClass::SimdStore);
+    write_q(dst, v.0);
+}
+
+/// `movdqa` to memory — aligned 128-bit integer store.
+#[inline]
+#[track_caller]
+pub fn _mm_store_si128<T: MemElem>(dst: &mut [T], v: __m128i) {
+    assert_aligned(dst.as_ptr());
+    count(OpClass::SimdStore);
+    write_q(dst, v.0);
+}
+
+// ---------------------------------------------------------------------------
+// Register initialisation (set / setzero)
+// ---------------------------------------------------------------------------
+
+/// Broadcasts one float to all four lanes.
+#[inline]
+pub fn _mm_set1_ps(v: f32) -> __m128 {
+    count(OpClass::SimdAlu);
+    F32x4::splat(v)
+}
+
+/// Builds a `ps` register; note the Intel argument order — `e3` is the
+/// *highest* lane.
+#[inline]
+pub fn _mm_set_ps(e3: f32, e2: f32, e1: f32, e0: f32) -> __m128 {
+    count(OpClass::SimdAlu);
+    F32x4::new([e0, e1, e2, e3])
+}
+
+/// Builds a `ps` register in memory order (lane 0 first).
+#[inline]
+pub fn _mm_setr_ps(e0: f32, e1: f32, e2: f32, e3: f32) -> __m128 {
+    count(OpClass::SimdAlu);
+    F32x4::new([e0, e1, e2, e3])
+}
+
+/// All-zero `ps` register.
+#[inline]
+pub fn _mm_setzero_ps() -> __m128 {
+    count(OpClass::SimdAlu);
+    F32x4::splat(0.0)
+}
+
+/// All-zero `pd` register.
+#[inline]
+pub fn _mm_setzero_pd() -> __m128d {
+    count(OpClass::SimdAlu);
+    F64x2::splat(0.0)
+}
+
+/// Sets the low double lane, zeroing the high lane (`_mm_set_sd`). This is
+/// the entry point of OpenCV's `cvRound` on SSE2 builds (see the paper's
+/// listing of `cvRound`).
+#[inline]
+pub fn _mm_set_sd(v: f64) -> __m128d {
+    count(OpClass::SimdAlu);
+    F64x2::new([v, 0.0])
+}
+
+/// Broadcasts one double to both lanes.
+#[inline]
+pub fn _mm_set1_pd(v: f64) -> __m128d {
+    count(OpClass::SimdAlu);
+    F64x2::splat(v)
+}
+
+/// All-zero integer register (`pxor xmm, xmm`).
+#[inline]
+pub fn _mm_setzero_si128() -> __m128i {
+    count(OpClass::SimdAlu);
+    __m128i::zero()
+}
+
+/// Broadcasts one byte to all sixteen lanes.
+#[inline]
+pub fn _mm_set1_epi8(v: i8) -> __m128i {
+    count(OpClass::SimdAlu);
+    __m128i::from_i8(I8x16::splat(v))
+}
+
+/// Broadcasts one 16-bit value to all eight lanes.
+#[inline]
+pub fn _mm_set1_epi16(v: i16) -> __m128i {
+    count(OpClass::SimdAlu);
+    __m128i::from_i16(I16x8::splat(v))
+}
+
+/// Broadcasts one 32-bit value to all four lanes.
+#[inline]
+pub fn _mm_set1_epi32(v: i32) -> __m128i {
+    count(OpClass::SimdAlu);
+    __m128i::from_i32(I32x4::splat(v))
+}
+
+/// Builds an `epi32` register; `e3` is the highest lane (Intel order).
+#[inline]
+pub fn _mm_set_epi32(e3: i32, e2: i32, e1: i32, e0: i32) -> __m128i {
+    count(OpClass::SimdAlu);
+    __m128i::from_i32(I32x4::new([e0, e1, e2, e3]))
+}
+
+/// Builds an `epi32` register in memory order.
+#[inline]
+pub fn _mm_setr_epi32(e0: i32, e1: i32, e2: i32, e3: i32) -> __m128i {
+    count(OpClass::SimdAlu);
+    __m128i::from_i32(I32x4::new([e0, e1, e2, e3]))
+}
+
+/// Builds an `epi16` register; `e7` is the highest lane (Intel order).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn _mm_set_epi16(
+    e7: i16,
+    e6: i16,
+    e5: i16,
+    e4: i16,
+    e3: i16,
+    e2: i16,
+    e1: i16,
+    e0: i16,
+) -> __m128i {
+    count(OpClass::SimdAlu);
+    __m128i::from_i16(I16x8::new([e0, e1, e2, e3, e4, e5, e6, e7]))
+}
+
+/// Builds a `u8` register in memory order (convenience; mirrors
+/// `_mm_setr_epi8` with unsigned lanes).
+#[inline]
+pub fn _mm_setr_epu8(lanes: [u8; 16]) -> __m128i {
+    count(OpClass::SimdAlu);
+    __m128i::from_u8(U8x16::new(lanes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simd_vector::AlignedBuf;
+
+    #[test]
+    fn loadu_storeu_ps_roundtrip() {
+        let src = [1.0f32, 2.0, 3.0, 4.0, 5.0];
+        let v = _mm_loadu_ps(&src[1..]);
+        assert_eq!(v.to_array(), [2.0, 3.0, 4.0, 5.0]);
+        let mut dst = [0.0f32; 4];
+        _mm_storeu_ps(&mut dst, v);
+        assert_eq!(dst, [2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn aligned_load_accepts_aligned_buffer() {
+        let buf = AlignedBuf::<f32>::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let v = _mm_load_ps(&buf);
+        assert_eq!(v.to_array(), [1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned SSE memory access")]
+    fn aligned_load_panics_on_misaligned() {
+        let buf = AlignedBuf::<f32>::from_slice(&[0.0; 8]);
+        // Offsetting by one f32 breaks 16-byte alignment.
+        let _ = _mm_load_ps(&buf[1..]);
+    }
+
+    #[test]
+    fn si128_typed_roundtrip() {
+        let src: Vec<i16> = vec![1, -2, 3, -4, 5, -6, 7, -8];
+        let v = _mm_loadu_si128(&src);
+        assert_eq!(v.as_i16().to_array(), [1, -2, 3, -4, 5, -6, 7, -8]);
+        let mut dst = vec![0i16; 8];
+        _mm_storeu_si128(&mut dst, v);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn set_order_is_reversed() {
+        let v = _mm_set_ps(3.0, 2.0, 1.0, 0.0);
+        assert_eq!(v.to_array(), [0.0, 1.0, 2.0, 3.0]);
+        let r = _mm_setr_ps(0.0, 1.0, 2.0, 3.0);
+        assert_eq!(v, r);
+        let i = _mm_set_epi32(3, 2, 1, 0);
+        assert_eq!(i.as_i32().to_array(), [0, 1, 2, 3]);
+        let h = _mm_set_epi16(7, 6, 5, 4, 3, 2, 1, 0);
+        assert_eq!(h.as_i16().to_array(), [0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn set1_and_zero() {
+        assert_eq!(_mm_set1_epi16(-3).as_i16().to_array(), [-3; 8]);
+        assert_eq!(_mm_set1_epi8(7).as_i8().to_array(), [7; 16]);
+        assert_eq!(_mm_setzero_si128().as_u8().to_array(), [0; 16]);
+        assert_eq!(_mm_setzero_ps().to_array(), [0.0; 4]);
+        assert_eq!(_mm_set_sd(2.5).to_array(), [2.5, 0.0]);
+    }
+
+    #[test]
+    fn loads_count_ops() {
+        let (_, mix) = op_trace::trace(|| {
+            let v = _mm_loadu_ps(&[1.0, 2.0, 3.0, 4.0]);
+            let mut out = [0.0f32; 4];
+            _mm_storeu_ps(&mut out, v);
+        });
+        assert_eq!(mix.get(OpClass::SimdLoad), 1);
+        assert_eq!(mix.get(OpClass::SimdStore), 1);
+    }
+}
+
+/// `movq` — loads 8 bytes into the low half of an integer register, zeroing
+/// the high half. Element type chosen by the slice.
+#[inline]
+#[track_caller]
+pub fn _mm_loadl_epi64<T: MemElem>(src: &[T]) -> __m128i {
+    count(OpClass::SimdLoad);
+    let n = 8 / T::BYTES;
+    assert!(
+        src.len() >= n,
+        "SSE 64-bit load needs {} elements, slice has {}",
+        n,
+        src.len()
+    );
+    let mut bytes = [0u8; 16];
+    for (i, chunk) in bytes[..8].chunks_mut(T::BYTES).enumerate() {
+        src[i].write_le(chunk);
+    }
+    __m128i(simd_vector::U8x16::from_bytes(bytes))
+}
+
+/// `movq` to memory — stores the low 8 bytes of an integer register.
+#[inline]
+#[track_caller]
+pub fn _mm_storel_epi64<T: MemElem>(dst: &mut [T], v: __m128i) {
+    count(OpClass::SimdStore);
+    let n = 8 / T::BYTES;
+    assert!(
+        dst.len() >= n,
+        "SSE 64-bit store needs {} elements, slice has {}",
+        n,
+        dst.len()
+    );
+    let bytes = v.0.to_bytes();
+    for (i, chunk) in bytes[..8].chunks(T::BYTES).enumerate() {
+        dst[i] = T::read_le(chunk);
+    }
+}
+
+#[cfg(test)]
+mod l64_tests {
+    use super::*;
+
+    #[test]
+    fn loadl_zeroes_high_half() {
+        let src: Vec<u8> = (1..=12).collect();
+        let v = _mm_loadl_epi64(&src);
+        let arr = v.as_u8().to_array();
+        assert_eq!(&arr[..8], &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(&arr[8..], &[0; 8]);
+    }
+
+    #[test]
+    fn storel_writes_only_8_bytes() {
+        let v = _mm_loadu_si128(&(1u8..=16).collect::<Vec<_>>());
+        let mut dst = vec![0u8; 12];
+        _mm_storel_epi64(&mut dst, v);
+        assert_eq!(&dst[..8], &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(&dst[8..], &[0; 4]);
+    }
+
+    #[test]
+    fn typed_l64_roundtrip_u16() {
+        let src = [100u16, 200, 300, 400, 999];
+        let v = _mm_loadl_epi64(&src);
+        assert_eq!(&v.as_u16().to_array()[..4], &[100, 200, 300, 400]);
+        let mut dst = [0u16; 4];
+        _mm_storel_epi64(&mut dst, v);
+        assert_eq!(dst, [100, 200, 300, 400]);
+    }
+}

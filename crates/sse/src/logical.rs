@@ -1,0 +1,91 @@
+//! Logical (bitwise) intrinsics (category *c*).
+
+use crate::types::{ps_from_bits, ps_to_bits, __m128, __m128i};
+use op_trace::{count, OpClass};
+
+/// `pand` — 128-bit bitwise AND.
+#[inline]
+pub fn _mm_and_si128(a: __m128i, b: __m128i) -> __m128i {
+    count(OpClass::SimdAlu);
+    __m128i(a.0.and(b.0))
+}
+
+/// `por` — 128-bit bitwise OR.
+#[inline]
+pub fn _mm_or_si128(a: __m128i, b: __m128i) -> __m128i {
+    count(OpClass::SimdAlu);
+    __m128i(a.0.or(b.0))
+}
+
+/// `pxor` — 128-bit bitwise XOR.
+#[inline]
+pub fn _mm_xor_si128(a: __m128i, b: __m128i) -> __m128i {
+    count(OpClass::SimdAlu);
+    __m128i(a.0.xor(b.0))
+}
+
+/// `pandn` — `!a & b` (note the operand order).
+#[inline]
+pub fn _mm_andnot_si128(a: __m128i, b: __m128i) -> __m128i {
+    count(OpClass::SimdAlu);
+    __m128i(a.0.andnot(b.0))
+}
+
+/// `andps` — bitwise AND of float registers.
+#[inline]
+pub fn _mm_and_ps(a: __m128, b: __m128) -> __m128 {
+    count(OpClass::SimdAlu);
+    ps_from_bits(ps_to_bits(a).and(ps_to_bits(b)))
+}
+
+/// `orps` — bitwise OR of float registers.
+#[inline]
+pub fn _mm_or_ps(a: __m128, b: __m128) -> __m128 {
+    count(OpClass::SimdAlu);
+    ps_from_bits(ps_to_bits(a).or(ps_to_bits(b)))
+}
+
+/// `xorps` — bitwise XOR of float registers.
+#[inline]
+pub fn _mm_xor_ps(a: __m128, b: __m128) -> __m128 {
+    count(OpClass::SimdAlu);
+    ps_from_bits(ps_to_bits(a).xor(ps_to_bits(b)))
+}
+
+/// `andnps` — `!a & b` on float registers.
+#[inline]
+pub fn _mm_andnot_ps(a: __m128, b: __m128) -> __m128 {
+    count(OpClass::SimdAlu);
+    ps_from_bits(ps_to_bits(a).andnot(ps_to_bits(b)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load_store::*;
+
+    #[test]
+    fn si128_logic() {
+        let a = _mm_set1_epi32(0b1100);
+        let b = _mm_set1_epi32(0b1010);
+        assert_eq!(_mm_and_si128(a, b).as_i32().lane(0), 0b1000);
+        assert_eq!(_mm_or_si128(a, b).as_i32().lane(0), 0b1110);
+        assert_eq!(_mm_xor_si128(a, b).as_i32().lane(0), 0b0110);
+        assert_eq!(_mm_andnot_si128(a, b).as_i32().lane(0), 0b0010);
+    }
+
+    #[test]
+    fn xor_self_is_zero() {
+        let a = _mm_set1_epi32(0x1234_5678);
+        assert_eq!(_mm_xor_si128(a, a).as_u8().to_array(), [0; 16]);
+    }
+
+    #[test]
+    fn ps_logic_preserves_bits() {
+        // Sign-bit masking, the classic andps use.
+        let v = _mm_setr_ps(-1.0, 2.0, -3.0, 4.0);
+        let abs_mask = __m128i::from_u32(simd_vector::U32x4::splat(0x7FFF_FFFF));
+        let abs = _mm_and_ps(v, crate::types::cast(abs_mask.0));
+        assert_eq!(abs.to_array(), [1.0, 2.0, 3.0, 4.0]);
+    }
+}

@@ -1,0 +1,299 @@
+//! Pack, unpack and shuffle intrinsics (category *e*).
+
+use crate::types::{ps_to_bits, __m128, __m128i};
+use op_trace::{count, OpClass};
+use simd_vector::{F32x4, I16x8, I32x4, U8x16};
+
+/// `packssdw` — packs two `epi32` registers into one `epi16` register with
+/// signed saturation. The final narrowing step of the paper's benchmark-1
+/// SSE2 loop; identical to NEON's `vqmovn_s32` + `vcombine_s16`.
+///
+/// ```
+/// use sse_sim::{_mm_packs_epi32, _mm_setr_epi32};
+/// let lo = _mm_setr_epi32(70_000, -70_000, 5, -5);
+/// let hi = _mm_setr_epi32(0, 1, 2, 3);
+/// let packed = _mm_packs_epi32(lo, hi);
+/// assert_eq!(
+///     packed.as_i16().to_array(),
+///     [32767, -32768, 5, -5, 0, 1, 2, 3]
+/// );
+/// ```
+#[inline]
+pub fn _mm_packs_epi32(a: __m128i, b: __m128i) -> __m128i {
+    count(OpClass::SimdConvert);
+    __m128i::from_i16(I32x4::narrow_saturate_i16(a.as_i32(), b.as_i32()))
+}
+
+/// `packsswb` — packs two `epi16` registers into one `epi8` register with
+/// signed saturation.
+#[inline]
+pub fn _mm_packs_epi16(a: __m128i, b: __m128i) -> __m128i {
+    count(OpClass::SimdConvert);
+    __m128i::from_i8(I16x8::narrow_saturate_i8(a.as_i16(), b.as_i16()))
+}
+
+/// `packuswb` — packs two signed `epi16` registers into one unsigned `epu8`
+/// register with unsigned saturation.
+#[inline]
+pub fn _mm_packus_epi16(a: __m128i, b: __m128i) -> __m128i {
+    count(OpClass::SimdConvert);
+    __m128i::from_u8(I16x8::narrow_saturate_u8(a.as_i16(), b.as_i16()))
+}
+
+macro_rules! unpack {
+    ($(#[$meta:meta])* $name:ident, $t:ty, $view:ident, $from:ident, $n:expr, lo) => {
+        $(#[$meta])*
+        #[inline]
+        pub fn $name(a: __m128i, b: __m128i) -> __m128i {
+            count(OpClass::SimdAlu);
+            let av = a.$view().to_array();
+            let bv = b.$view().to_array();
+            let mut out = [<$t>::default(); $n];
+            for i in 0..$n / 2 {
+                out[2 * i] = av[i];
+                out[2 * i + 1] = bv[i];
+            }
+            __m128i::$from(out.into())
+        }
+    };
+    ($(#[$meta:meta])* $name:ident, $t:ty, $view:ident, $from:ident, $n:expr, hi) => {
+        $(#[$meta])*
+        #[inline]
+        pub fn $name(a: __m128i, b: __m128i) -> __m128i {
+            count(OpClass::SimdAlu);
+            let av = a.$view().to_array();
+            let bv = b.$view().to_array();
+            let mut out = [<$t>::default(); $n];
+            for i in 0..$n / 2 {
+                out[2 * i] = av[$n / 2 + i];
+                out[2 * i + 1] = bv[$n / 2 + i];
+            }
+            __m128i::$from(out.into())
+        }
+    };
+}
+
+unpack!(
+    /// `punpcklbw` — interleaves the low eight byte lanes of `a` and `b`.
+    _mm_unpacklo_epi8, u8, as_u8, from_u8, 16, lo
+);
+unpack!(
+    /// `punpckhbw` — interleaves the high eight byte lanes.
+    _mm_unpackhi_epi8, u8, as_u8, from_u8, 16, hi
+);
+unpack!(
+    /// `punpcklwd` — interleaves the low four 16-bit lanes.
+    _mm_unpacklo_epi16, i16, as_i16, from_i16, 8, lo
+);
+unpack!(
+    /// `punpckhwd` — interleaves the high four 16-bit lanes.
+    _mm_unpackhi_epi16, i16, as_i16, from_i16, 8, hi
+);
+unpack!(
+    /// `punpckldq` — interleaves the low two 32-bit lanes.
+    _mm_unpacklo_epi32, i32, as_i32, from_i32, 4, lo
+);
+unpack!(
+    /// `punpckhdq` — interleaves the high two 32-bit lanes.
+    _mm_unpackhi_epi32, i32, as_i32, from_i32, 4, hi
+);
+unpack!(
+    /// `punpcklqdq` — interleaves the low 64-bit lanes.
+    _mm_unpacklo_epi64, i64, as_i64, from_i64, 2, lo
+);
+unpack!(
+    /// `punpckhqdq` — interleaves the high 64-bit lanes.
+    _mm_unpackhi_epi64, i64, as_i64, from_i64, 2, hi
+);
+
+/// `unpcklps` — interleaves the low float lanes of `a` and `b`.
+#[inline]
+pub fn _mm_unpacklo_ps(a: __m128, b: __m128) -> __m128 {
+    count(OpClass::SimdAlu);
+    F32x4::new([a.lane(0), b.lane(0), a.lane(1), b.lane(1)])
+}
+
+/// `unpckhps` — interleaves the high float lanes of `a` and `b`.
+#[inline]
+pub fn _mm_unpackhi_ps(a: __m128, b: __m128) -> __m128 {
+    count(OpClass::SimdAlu);
+    F32x4::new([a.lane(2), b.lane(2), a.lane(3), b.lane(3)])
+}
+
+/// `pshufd` — permutes 32-bit lanes by the immediate control mask.
+#[inline]
+pub fn _mm_shuffle_epi32<const IMM8: i32>(a: __m128i) -> __m128i {
+    count(OpClass::SimdAlu);
+    let v = a.as_i32().to_array();
+    let sel = |n: i32| v[((IMM8 >> (2 * n)) & 0b11) as usize];
+    __m128i::from_i32(I32x4::new([sel(0), sel(1), sel(2), sel(3)]))
+}
+
+/// `shufps` — selects two lanes from `a` (low result lanes) and two from `b`
+/// (high result lanes) by the immediate control mask.
+#[inline]
+pub fn _mm_shuffle_ps<const IMM8: i32>(a: __m128, b: __m128) -> __m128 {
+    count(OpClass::SimdAlu);
+    let sel = |src: __m128, n: i32| src.lane(((IMM8 >> (2 * n)) & 0b11) as usize);
+    F32x4::new([sel(a, 0), sel(a, 1), sel(b, 2), sel(b, 3)])
+}
+
+/// `pmovmskb` — gathers the sign bit of every byte lane into a 16-bit mask.
+#[inline]
+pub fn _mm_movemask_epi8(a: __m128i) -> i32 {
+    count(OpClass::SimdAlu);
+    let bytes = a.as_u8().to_array();
+    let mut mask = 0i32;
+    for (i, b) in bytes.iter().enumerate() {
+        if b & 0x80 != 0 {
+            mask |= 1 << i;
+        }
+    }
+    mask
+}
+
+/// `movmskps` — gathers the sign bit of every float lane into a 4-bit mask.
+#[inline]
+pub fn _mm_movemask_ps(a: __m128) -> i32 {
+    count(OpClass::SimdAlu);
+    let bits = ps_to_bits(a).to_array();
+    let mut mask = 0i32;
+    for (i, b) in bits.iter().enumerate() {
+        if b & 0x8000_0000 != 0 {
+            mask |= 1 << i;
+        }
+    }
+    mask
+}
+
+/// `pextrw` — extracts one 16-bit lane as a zero-extended integer.
+#[inline]
+pub fn _mm_extract_epi16<const IMM8: i32>(a: __m128i) -> i32 {
+    count(OpClass::SimdAlu);
+    a.as_u16().lane(IMM8 as usize) as i32
+}
+
+/// `pinsrw` — replaces one 16-bit lane.
+#[inline]
+pub fn _mm_insert_epi16<const IMM8: i32>(a: __m128i, v: i32) -> __m128i {
+    count(OpClass::SimdAlu);
+    __m128i::from_i16(a.as_i16().with_lane(IMM8 as usize, v as i16))
+}
+
+/// Builds a `U8x16` interleave helper used by kernels converting packed RGB.
+#[inline]
+pub fn interleave_lo_u8(a: U8x16, b: U8x16) -> U8x16 {
+    _mm_unpacklo_epi8(__m128i::from_u8(a), __m128i::from_u8(b)).as_u8()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load_store::*;
+
+    #[test]
+    fn packs_epi32_saturates() {
+        let a = _mm_setr_epi32(70000, -70000, 5, -5);
+        let b = _mm_setr_epi32(0, 1, i32::MAX, i32::MIN);
+        let r = _mm_packs_epi32(a, b).as_i16().to_array();
+        assert_eq!(r, [32767, -32768, 5, -5, 0, 1, 32767, -32768]);
+    }
+
+    #[test]
+    fn packus_epi16_clamps_to_u8() {
+        let a = _mm_set_epi16(300, 256, 255, 128, 127, 1, 0, -5);
+        let r = _mm_packus_epi16(a, a).as_u8().to_array();
+        assert_eq!(&r[..8], &[0, 0, 1, 127, 128, 255, 255, 255]);
+    }
+
+    #[test]
+    fn unpack_lo_hi_epi8() {
+        let a = _mm_loadu_si128(&(0u8..16).collect::<Vec<_>>());
+        let b = _mm_loadu_si128(&(100u8..116).collect::<Vec<_>>());
+        let lo = _mm_unpacklo_epi8(a, b).as_u8().to_array();
+        assert_eq!(
+            lo,
+            [0, 100, 1, 101, 2, 102, 3, 103, 4, 104, 5, 105, 6, 106, 7, 107]
+        );
+        let hi = _mm_unpackhi_epi8(a, b).as_u8().to_array();
+        assert_eq!(
+            hi,
+            [8, 108, 9, 109, 10, 110, 11, 111, 12, 112, 13, 113, 14, 114, 15, 115]
+        );
+    }
+
+    #[test]
+    fn unpack_epi16_and_epi32() {
+        let a = _mm_set_epi16(7, 6, 5, 4, 3, 2, 1, 0);
+        let b = _mm_set_epi16(17, 16, 15, 14, 13, 12, 11, 10);
+        assert_eq!(
+            _mm_unpacklo_epi16(a, b).as_i16().to_array(),
+            [0, 10, 1, 11, 2, 12, 3, 13]
+        );
+        let c = _mm_setr_epi32(0, 1, 2, 3);
+        let d = _mm_setr_epi32(10, 11, 12, 13);
+        assert_eq!(
+            _mm_unpackhi_epi32(c, d).as_i32().to_array(),
+            [2, 12, 3, 13]
+        );
+        assert_eq!(
+            _mm_unpacklo_epi64(c, d).as_i32().to_array(),
+            [0, 1, 10, 11]
+        );
+    }
+
+    #[test]
+    fn shuffle_epi32_permutes() {
+        let v = _mm_setr_epi32(10, 11, 12, 13);
+        // 0b00_01_10_11 -> lanes [3,2,1,0]
+        let r = _mm_shuffle_epi32::<0b00_01_10_11>(v);
+        assert_eq!(r.as_i32().to_array(), [13, 12, 11, 10]);
+        // Broadcast lane 2: imm 0b10_10_10_10
+        let bcast = _mm_shuffle_epi32::<0b10_10_10_10>(v);
+        assert_eq!(bcast.as_i32().to_array(), [12; 4]);
+    }
+
+    #[test]
+    fn shuffle_ps_mixes_sources() {
+        let a = _mm_setr_ps(0.0, 1.0, 2.0, 3.0);
+        let b = _mm_setr_ps(10.0, 11.0, 12.0, 13.0);
+        // low two from a lanes 3,2; high two from b lanes 1,0.
+        let r = _mm_shuffle_ps::<0b00_01_10_11>(a, b);
+        assert_eq!(r.to_array(), [3.0, 2.0, 11.0, 10.0]);
+    }
+
+    #[test]
+    fn movemask() {
+        let mut lanes = [0u8; 16];
+        lanes[0] = 0x80;
+        lanes[15] = 0xFF;
+        let v = _mm_loadu_si128(&lanes);
+        assert_eq!(_mm_movemask_epi8(v), 1 | (1 << 15));
+        let f = _mm_setr_ps(-1.0, 1.0, -0.0, 0.0);
+        assert_eq!(_mm_movemask_ps(f), 0b0101);
+    }
+
+    #[test]
+    fn extract_insert_epi16() {
+        let v = _mm_set_epi16(7, 6, 5, 4, 3, 2, 1, 0);
+        assert_eq!(_mm_extract_epi16::<3>(v), 3);
+        let w = _mm_insert_epi16::<3>(v, -9);
+        assert_eq!(w.as_i16().lane(3), -9);
+        // Extract zero-extends.
+        let neg = _mm_set1_epi16(-1);
+        assert_eq!(_mm_extract_epi16::<0>(neg), 0xFFFF);
+    }
+
+    #[test]
+    fn pack_path_equals_neon_narrow() {
+        // The cross-ISA identity the DESIGN doc promises.
+        let lo = _mm_setr_epi32(40000, -40000, 7, -7);
+        let hi = _mm_setr_epi32(1, 2, 3, 4);
+        let sse = _mm_packs_epi32(lo, hi).as_i16();
+        let neon_style = simd_vector::I16x8::combine(
+            lo.as_i32().narrow_saturate_i16_half(),
+            hi.as_i32().narrow_saturate_i16_half(),
+        );
+        assert_eq!(sse, neon_style);
+    }
+}

@@ -1,0 +1,138 @@
+//! Bit-shift intrinsics (category *g*) and whole-register byte shifts.
+
+use crate::types::__m128i;
+use op_trace::{count, OpClass};
+
+/// `psllw` — logical left shift of each 16-bit lane by an immediate.
+#[inline]
+pub fn _mm_slli_epi16<const IMM8: i32>(a: __m128i) -> __m128i {
+    count(OpClass::SimdAlu);
+    __m128i::from_i16(a.as_i16().shl(IMM8 as u32))
+}
+
+/// `pslld` — logical left shift of each 32-bit lane.
+#[inline]
+pub fn _mm_slli_epi32<const IMM8: i32>(a: __m128i) -> __m128i {
+    count(OpClass::SimdAlu);
+    __m128i::from_i32(a.as_i32().shl(IMM8 as u32))
+}
+
+/// `psllq` — logical left shift of each 64-bit lane.
+#[inline]
+pub fn _mm_slli_epi64<const IMM8: i32>(a: __m128i) -> __m128i {
+    count(OpClass::SimdAlu);
+    __m128i::from_i64(a.as_i64().shl(IMM8 as u32))
+}
+
+/// `psrlw` — logical right shift of each 16-bit lane.
+#[inline]
+pub fn _mm_srli_epi16<const IMM8: i32>(a: __m128i) -> __m128i {
+    count(OpClass::SimdAlu);
+    __m128i::from_u16(a.as_u16().shr_logical(IMM8 as u32))
+}
+
+/// `psrld` — logical right shift of each 32-bit lane.
+#[inline]
+pub fn _mm_srli_epi32<const IMM8: i32>(a: __m128i) -> __m128i {
+    count(OpClass::SimdAlu);
+    __m128i::from_u32(a.as_u32().shr_logical(IMM8 as u32))
+}
+
+/// `psrlq` — logical right shift of each 64-bit lane.
+#[inline]
+pub fn _mm_srli_epi64<const IMM8: i32>(a: __m128i) -> __m128i {
+    count(OpClass::SimdAlu);
+    __m128i::from_u64(a.as_u64().shr_logical(IMM8 as u32))
+}
+
+/// `psraw` — arithmetic right shift of each 16-bit lane.
+#[inline]
+pub fn _mm_srai_epi16<const IMM8: i32>(a: __m128i) -> __m128i {
+    count(OpClass::SimdAlu);
+    __m128i::from_i16(a.as_i16().shr_arithmetic(IMM8 as u32))
+}
+
+/// `psrad` — arithmetic right shift of each 32-bit lane.
+#[inline]
+pub fn _mm_srai_epi32<const IMM8: i32>(a: __m128i) -> __m128i {
+    count(OpClass::SimdAlu);
+    __m128i::from_i32(a.as_i32().shr_arithmetic(IMM8 as u32))
+}
+
+/// `pslldq` — shifts the whole register left by `IMM8` *bytes*, filling with
+/// zeros.
+#[inline]
+pub fn _mm_slli_si128<const IMM8: i32>(a: __m128i) -> __m128i {
+    count(OpClass::SimdAlu);
+    let shift = (IMM8.clamp(0, 16)) as usize;
+    let src = a.as_u8().to_array();
+    let mut out = [0u8; 16];
+    out[shift..].copy_from_slice(&src[..16 - shift]);
+    __m128i::from_u8(out.into())
+}
+
+/// `psrldq` — shifts the whole register right by `IMM8` *bytes*, filling
+/// with zeros.
+#[inline]
+pub fn _mm_srli_si128<const IMM8: i32>(a: __m128i) -> __m128i {
+    count(OpClass::SimdAlu);
+    let shift = (IMM8.clamp(0, 16)) as usize;
+    let src = a.as_u8().to_array();
+    let mut out = [0u8; 16];
+    out[..16 - shift].copy_from_slice(&src[shift..]);
+    __m128i::from_u8(out.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load_store::*;
+
+    #[test]
+    fn lane_shifts() {
+        let v = _mm_set1_epi16(-16);
+        assert_eq!(_mm_srai_epi16::<2>(v).as_i16().lane(0), -4);
+        assert_eq!(
+            _mm_srli_epi16::<2>(v).as_u16().lane(0),
+            ((-16i16 as u16) >> 2)
+        );
+        assert_eq!(_mm_slli_epi16::<2>(v).as_i16().lane(0), -64);
+        let d = _mm_set1_epi32(1);
+        assert_eq!(_mm_slli_epi32::<8>(d).as_i32().lane(0), 256);
+        assert_eq!(_mm_srli_epi32::<1>(d).as_i32().lane(0), 0);
+        assert_eq!(_mm_srai_epi32::<4>(_mm_set1_epi32(-256)).as_i32().lane(0), -16);
+    }
+
+    #[test]
+    fn epi64_shifts() {
+        let v = _mm_loadu_si128(&[1i64, -1]);
+        assert_eq!(_mm_slli_epi64::<32>(v).as_i64().lane(0), 1i64 << 32);
+        assert_eq!(
+            _mm_srli_epi64::<63>(v).as_u64().lane(1),
+            1 // -1 >> 63 logical
+        );
+    }
+
+    #[test]
+    fn byte_shifts() {
+        let v = _mm_loadu_si128(&(0u8..16).collect::<Vec<_>>());
+        let l = _mm_slli_si128::<4>(v).as_u8().to_array();
+        assert_eq!(&l[..4], &[0, 0, 0, 0]);
+        assert_eq!(&l[4..8], &[0, 1, 2, 3]);
+        let r = _mm_srli_si128::<4>(v).as_u8().to_array();
+        assert_eq!(&r[..4], &[4, 5, 6, 7]);
+        assert_eq!(&r[12..], &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn oversized_shift_zeroes() {
+        let v = _mm_set1_epi16(0x7FFF);
+        assert_eq!(_mm_slli_epi16::<16>(v).as_i16().lane(0), 0);
+        assert_eq!(_mm_srli_epi16::<16>(v).as_u16().lane(0), 0);
+        // Arithmetic shifts clamp at bits-1 (sign fill).
+        assert_eq!(
+            _mm_srai_epi16::<20>(_mm_set1_epi16(-2)).as_i16().lane(0),
+            -1
+        );
+    }
+}

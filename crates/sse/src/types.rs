@@ -1,0 +1,222 @@
+//! The three SSE register types and element-typed memory access.
+
+use simd_vector::cast::{reinterpret128, Bits128};
+use simd_vector::{F32x4, F64x2, I16x8, I32x4, I64x2, I8x16, U16x8, U32x4, U64x2, U8x16};
+
+/// Four packed single-precision floats (XMM register, `ps` view).
+pub type __m128 = F32x4;
+
+/// Two packed double-precision floats (XMM register, `pd` view).
+pub type __m128d = F64x2;
+
+/// One 128-bit integer register. SSE2 integer intrinsics are typeless over
+/// the bits; this wrapper stores the byte image and reinterprets per
+/// operation, exactly like the hardware.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct __m128i(pub U8x16);
+
+impl std::fmt::Debug for __m128i {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "__m128i({:02x?})", self.0.to_array())
+    }
+}
+
+macro_rules! m128i_views {
+    ($(($as_fn:ident, $from_fn:ident, $t:ty)),+ $(,)?) => {
+        impl __m128i {
+            $(
+                /// Reinterprets the register bits as the given lane type.
+                #[inline]
+                pub fn $as_fn(self) -> $t {
+                    reinterpret128(self.0)
+                }
+
+                /// Builds the register from the given lane type's bits.
+                #[inline]
+                pub fn $from_fn(v: $t) -> Self {
+                    __m128i(reinterpret128(v))
+                }
+            )+
+        }
+    };
+}
+
+m128i_views!(
+    (as_i8, from_i8, I8x16),
+    (as_u8, from_u8, U8x16),
+    (as_i16, from_i16, I16x8),
+    (as_u16, from_u16, U16x8),
+    (as_i32, from_i32, I32x4),
+    (as_u32, from_u32, U32x4),
+    (as_i64, from_i64, I64x2),
+    (as_u64, from_u64, U64x2),
+);
+
+impl __m128i {
+    /// The all-zero register.
+    #[inline]
+    pub fn zero() -> Self {
+        __m128i(U8x16::splat(0))
+    }
+}
+
+/// Element types that integer memory intrinsics may load and store.
+///
+/// This is the typed-slice replacement for C's "cast any pointer to
+/// `__m128i*`" idiom.
+pub trait MemElem: Copy + Default + 'static {
+    /// Size of one element in bytes.
+    const BYTES: usize;
+    /// Writes the element little-endian into `dst` (`dst.len() == BYTES`).
+    fn write_le(self, dst: &mut [u8]);
+    /// Reads an element little-endian from `src` (`src.len() == BYTES`).
+    fn read_le(src: &[u8]) -> Self;
+}
+
+macro_rules! mem_elem {
+    ($($t:ty),+) => {
+        $(impl MemElem for $t {
+            const BYTES: usize = std::mem::size_of::<$t>();
+            #[inline]
+            fn write_le(self, dst: &mut [u8]) {
+                dst.copy_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn read_le(src: &[u8]) -> Self {
+                let mut buf = [0u8; std::mem::size_of::<$t>()];
+                buf.copy_from_slice(src);
+                <$t>::from_le_bytes(buf)
+            }
+        })+
+    };
+}
+
+mem_elem!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
+
+/// Number of elements of `T` in one 128-bit register.
+pub const fn lanes_of<T: MemElem>() -> usize {
+    16 / T::BYTES
+}
+
+/// Reads a full register from the front of `src` (no alignment check).
+#[inline]
+#[track_caller]
+pub(crate) fn read_q<T: MemElem>(src: &[T]) -> U8x16 {
+    let n = lanes_of::<T>();
+    assert!(
+        src.len() >= n,
+        "SSE load needs {} elements, slice has {}",
+        n,
+        src.len()
+    );
+    let mut bytes = [0u8; 16];
+    for (i, chunk) in bytes.chunks_mut(T::BYTES).enumerate() {
+        src[i].write_le(chunk);
+    }
+    U8x16::from_bytes(bytes)
+}
+
+/// Writes a full register to the front of `dst` (no alignment check).
+#[inline]
+#[track_caller]
+pub(crate) fn write_q<T: MemElem>(dst: &mut [T], v: U8x16) {
+    let n = lanes_of::<T>();
+    assert!(
+        dst.len() >= n,
+        "SSE store needs {} elements, slice has {}",
+        n,
+        dst.len()
+    );
+    let bytes = v.to_bytes();
+    for (i, chunk) in bytes.chunks(T::BYTES).enumerate() {
+        dst[i] = T::read_le(chunk);
+    }
+}
+
+/// Panics unless the slice data pointer is 16-byte aligned (used by the
+/// aligned load/store intrinsics to model hardware #GP faults).
+#[inline]
+#[track_caller]
+pub(crate) fn assert_aligned<T>(ptr: *const T) {
+    assert_eq!(
+        ptr as usize % 16,
+        0,
+        "aligned SSE memory access to unaligned address {ptr:p} (would #GP on hardware)"
+    );
+}
+
+/// Converts an `F32x4` view of register bits (used by `ps`-typed logical and
+/// compare results).
+#[inline]
+pub(crate) fn ps_from_bits(bits: U32x4) -> F32x4 {
+    reinterpret128(bits)
+}
+
+/// Raw bit view of a `ps` register.
+#[inline]
+pub(crate) fn ps_to_bits(v: F32x4) -> U32x4 {
+    reinterpret128(v)
+}
+
+/// Raw bit view of a `pd` register.
+#[allow(dead_code)] // used by the compare test-suite
+#[inline]
+pub(crate) fn pd_to_bits(v: F64x2) -> U64x2 {
+    reinterpret128(v)
+}
+
+/// Converts register bits to a `pd` view.
+#[inline]
+pub(crate) fn pd_from_bits(bits: U64x2) -> F64x2 {
+    reinterpret128(bits)
+}
+
+/// Generic 128-bit reinterpret used by the `_mm_cast*` intrinsics.
+#[inline]
+pub(crate) fn cast<Src: Bits128, Dst: Bits128>(v: Src) -> Dst {
+    reinterpret128(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m128i_views_roundtrip() {
+        let v = __m128i::from_i32(I32x4::new([1, -2, 3, -4]));
+        assert_eq!(v.as_i32().to_array(), [1, -2, 3, -4]);
+        let as_u8 = v.as_u8();
+        assert_eq!(as_u8.lane(0), 1);
+        assert_eq!(__m128i::from_u8(as_u8), v);
+    }
+
+    #[test]
+    fn read_write_q_typed() {
+        let src: Vec<i16> = (0..10).collect();
+        let q = read_q(&src[1..]);
+        let mut dst = vec![0i16; 8];
+        write_q(&mut dst, q);
+        assert_eq!(dst, (1..9).collect::<Vec<i16>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "SSE load needs")]
+    fn read_q_checks_length() {
+        let src = [0u8; 15];
+        let _ = read_q(&src);
+    }
+
+    #[test]
+    fn lanes_of_counts() {
+        assert_eq!(lanes_of::<u8>(), 16);
+        assert_eq!(lanes_of::<i16>(), 8);
+        assert_eq!(lanes_of::<i32>(), 4);
+        assert_eq!(lanes_of::<f32>(), 4);
+        assert_eq!(lanes_of::<i64>(), 2);
+    }
+
+    #[test]
+    fn zero_register() {
+        assert_eq!(__m128i::zero().as_i64().to_array(), [0, 0]);
+    }
+}

@@ -1,0 +1,300 @@
+//! Micro-op counting and instruction-mix analysis.
+//!
+//! The paper's Section V compares the *instruction streams* that the two code
+//! generation strategies (hand-written intrinsics vs. gcc auto-vectorization)
+//! produce for the same kernel: the intrinsic NEON loop retires 14 operations
+//! per 8 output pixels, while the "auto-vectorized" loop degenerates into a
+//! mostly scalar per-pixel sequence that includes a `lrint` library call.
+//!
+//! This crate is the substrate that makes the same analysis possible in the
+//! reproduction:
+//!
+//! * [`OpClass`] classifies micro-ops the way the paper's disassembly does
+//!   (SIMD vs. scalar, load/store vs. ALU vs. convert, branches, libcalls).
+//! * Thread-local [counters](count) are incremented by every simulated
+//!   intrinsic in the `sse-sim` and `neon-sim` crates, so running a HAND
+//!   kernel under a [`TraceGuard`] yields its *measured* instruction mix.
+//! * [`OpMix`] aggregates counts and computes per-pixel figures; the
+//!   [`analysis`] module renders the Section V style report.
+//!
+//! Counting is off by default and costs one thread-local boolean test per
+//! intrinsic call when disabled.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod mix;
+
+use std::cell::{Cell, RefCell};
+
+pub use mix::OpMix;
+
+/// Classification of a single micro-operation, mirroring the categories used
+/// in the paper's assembly analysis (Section V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// SIMD vector load (`vld1q`, `movups`, ...).
+    SimdLoad,
+    /// SIMD vector store (`vst1q`, `movups` to memory, ...).
+    SimdStore,
+    /// SIMD arithmetic/logical/compare/select/shuffle operation.
+    SimdAlu,
+    /// SIMD data-type conversion (`vcvt`, `cvtps2dq`) or narrowing/widening
+    /// (`vqmovn`, `packssdw`).
+    SimdConvert,
+    /// Scalar load from memory.
+    ScalarLoad,
+    /// Scalar store to memory.
+    ScalarStore,
+    /// Scalar integer/float ALU operation.
+    ScalarAlu,
+    /// Scalar data-type conversion (e.g. `vcvt.f64.f32` in the gcc listing).
+    ScalarConvert,
+    /// Conditional or unconditional branch.
+    Branch,
+    /// Call into a support library (the `bl lrint` of the gcc ARM listing).
+    LibCall,
+    /// Address arithmetic / loop-control overhead (`add r3, #16`, `cmp`, ...).
+    AddrArith,
+}
+
+impl OpClass {
+    /// All classes, in display order.
+    pub const ALL: [OpClass; 11] = [
+        OpClass::SimdLoad,
+        OpClass::SimdStore,
+        OpClass::SimdAlu,
+        OpClass::SimdConvert,
+        OpClass::ScalarLoad,
+        OpClass::ScalarStore,
+        OpClass::ScalarAlu,
+        OpClass::ScalarConvert,
+        OpClass::Branch,
+        OpClass::LibCall,
+        OpClass::AddrArith,
+    ];
+
+    /// Index into a fixed-size counter array.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short mnemonic used in reports.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            OpClass::SimdLoad => "simd.ld",
+            OpClass::SimdStore => "simd.st",
+            OpClass::SimdAlu => "simd.alu",
+            OpClass::SimdConvert => "simd.cvt",
+            OpClass::ScalarLoad => "scal.ld",
+            OpClass::ScalarStore => "scal.st",
+            OpClass::ScalarAlu => "scal.alu",
+            OpClass::ScalarConvert => "scal.cvt",
+            OpClass::Branch => "branch",
+            OpClass::LibCall => "libcall",
+            OpClass::AddrArith => "addr",
+        }
+    }
+
+    /// True for the four SIMD classes.
+    pub const fn is_simd(self) -> bool {
+        matches!(
+            self,
+            OpClass::SimdLoad | OpClass::SimdStore | OpClass::SimdAlu | OpClass::SimdConvert
+        )
+    }
+
+    /// True for classes that touch memory.
+    pub const fn is_memory(self) -> bool {
+        matches!(
+            self,
+            OpClass::SimdLoad
+                | OpClass::SimdStore
+                | OpClass::ScalarLoad
+                | OpClass::ScalarStore
+        )
+    }
+}
+
+/// Number of distinct [`OpClass`] values.
+pub const NUM_OP_CLASSES: usize = 11;
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static COUNTS: RefCell<[u64; NUM_OP_CLASSES]> = const { RefCell::new([0; NUM_OP_CLASSES]) };
+}
+
+/// Returns whether op counting is currently enabled on this thread.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Enables or disables op counting on this thread.
+///
+/// Prefer [`TraceGuard`] which restores the previous state on drop.
+pub fn set_enabled(on: bool) {
+    ENABLED.with(|e| e.set(on));
+}
+
+/// Records one micro-op of the given class (no-op unless counting is enabled).
+///
+/// This is called by every simulated intrinsic in `sse-sim` / `neon-sim` and
+/// may also be called by instrumented scalar code.
+#[inline]
+pub fn count(class: OpClass) {
+    if enabled() {
+        COUNTS.with(|c| c.borrow_mut()[class.index()] += 1);
+    }
+}
+
+/// Records `n` micro-ops of the given class at once.
+#[inline]
+pub fn count_n(class: OpClass, n: u64) {
+    if enabled() {
+        COUNTS.with(|c| c.borrow_mut()[class.index()] += n);
+    }
+}
+
+/// Resets all counters on this thread to zero.
+pub fn reset() {
+    COUNTS.with(|c| *c.borrow_mut() = [0; NUM_OP_CLASSES]);
+}
+
+/// Returns the current counter values without resetting them.
+pub fn snapshot() -> OpMix {
+    COUNTS.with(|c| OpMix::from_counts(*c.borrow()))
+}
+
+/// Returns the current counter values and resets them to zero.
+pub fn take() -> OpMix {
+    COUNTS.with(|c| {
+        let mut guard = c.borrow_mut();
+        let mix = OpMix::from_counts(*guard);
+        *guard = [0; NUM_OP_CLASSES];
+        mix
+    })
+}
+
+/// RAII guard that enables op counting for its lifetime, restoring the prior
+/// enabled state (and leaving the counters untouched) on drop.
+///
+/// ```
+/// use op_trace::{OpClass, TraceGuard};
+/// op_trace::reset();
+/// {
+///     let _g = TraceGuard::new();
+///     op_trace::count(OpClass::SimdAlu);
+/// }
+/// // Counting is disabled again here.
+/// op_trace::count(OpClass::SimdAlu);
+/// assert_eq!(op_trace::take().get(OpClass::SimdAlu), 1);
+/// ```
+pub struct TraceGuard {
+    previous: bool,
+}
+
+impl TraceGuard {
+    /// Enables counting and remembers the previous state.
+    pub fn new() -> Self {
+        let previous = enabled();
+        set_enabled(true);
+        TraceGuard { previous }
+    }
+}
+
+impl Default for TraceGuard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        set_enabled(self.previous);
+    }
+}
+
+/// Runs `f` with counting enabled (counters reset first) and returns both the
+/// function result and the recorded mix.
+pub fn trace<R>(f: impl FnOnce() -> R) -> (R, OpMix) {
+    reset();
+    let result = {
+        let _guard = TraceGuard::new();
+        f()
+    };
+    (result, take())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_disabled_by_default() {
+        reset();
+        count(OpClass::SimdAlu);
+        assert_eq!(take().total(), 0);
+    }
+
+    #[test]
+    fn guard_enables_and_restores() {
+        reset();
+        assert!(!enabled());
+        {
+            let _g = TraceGuard::new();
+            assert!(enabled());
+            count(OpClass::SimdLoad);
+            count(OpClass::SimdLoad);
+            count(OpClass::Branch);
+        }
+        assert!(!enabled());
+        let mix = take();
+        assert_eq!(mix.get(OpClass::SimdLoad), 2);
+        assert_eq!(mix.get(OpClass::Branch), 1);
+        assert_eq!(mix.total(), 3);
+    }
+
+    #[test]
+    fn nested_guards_restore_outer_state() {
+        reset();
+        let _outer = TraceGuard::new();
+        {
+            let _inner = TraceGuard::new();
+            assert!(enabled());
+        }
+        // Inner drop must not disable the outer guard's tracing.
+        assert!(enabled());
+        drop(_outer);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn trace_helper_returns_result_and_mix() {
+        let (value, mix) = trace(|| {
+            count_n(OpClass::ScalarAlu, 5);
+            42
+        });
+        assert_eq!(value, 42);
+        assert_eq!(mix.get(OpClass::ScalarAlu), 5);
+    }
+
+    #[test]
+    fn class_indices_are_dense_and_unique() {
+        for (i, c) in OpClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn memory_and_simd_predicates() {
+        assert!(OpClass::SimdLoad.is_simd());
+        assert!(OpClass::SimdLoad.is_memory());
+        assert!(OpClass::SimdAlu.is_simd());
+        assert!(!OpClass::SimdAlu.is_memory());
+        assert!(!OpClass::ScalarAlu.is_simd());
+        assert!(OpClass::ScalarStore.is_memory());
+        assert!(!OpClass::Branch.is_memory());
+    }
+}

@@ -1,0 +1,197 @@
+//! 16-byte aligned heap buffers.
+//!
+//! The paper's Section IV notes that part of the measured HAND advantage
+//! comes from the intrinsic code issuing one *aligned* 128-bit store where
+//! the scalar code issues eight unaligned 16-bit stores. To reproduce
+//! aligned/unaligned ablations (experiment A1) the image rows must actually
+//! be 16-byte aligned, which `Vec<u8>`/`Vec<f32>` do not guarantee.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
+
+/// Alignment (bytes) used for all SIMD-visible buffers.
+pub const SIMD_ALIGN: usize = 16;
+
+/// A heap buffer of `T` whose first element is 16-byte aligned.
+///
+/// Only plain-old-data element types are supported (enforced by the private
+/// `Pod` trait); elements are zero-initialised on allocation.
+pub struct AlignedBuf<T: Pod> {
+    ptr: NonNull<T>,
+    len: usize,
+    _marker: PhantomData<T>,
+}
+
+/// Marker for plain-old-data element types that are valid when zeroed.
+///
+/// # Safety
+/// Implementors must be `Copy` types with no padding-dependent invariants
+/// for which the all-zero bit pattern is a valid value.
+pub unsafe trait Pod: Copy + Default + 'static {}
+
+unsafe impl Pod for u8 {}
+unsafe impl Pod for i8 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for i16 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for i32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for i64 {}
+unsafe impl Pod for f32 {}
+unsafe impl Pod for f64 {}
+
+impl<T: Pod> AlignedBuf<T> {
+    /// Allocates a zeroed buffer of `len` elements, 16-byte aligned.
+    pub fn zeroed(len: usize) -> Self {
+        if len == 0 {
+            return AlignedBuf {
+                ptr: NonNull::dangling(),
+                len: 0,
+                _marker: PhantomData,
+            };
+        }
+        let align = SIMD_ALIGN.max(std::mem::align_of::<T>());
+        let layout = Layout::from_size_align(len * std::mem::size_of::<T>(), align)
+            .expect("invalid layout");
+        // SAFETY: layout has non-zero size (len > 0, size_of::<T>() > 0 for
+        // all Pod impls); alloc_zeroed returns either null or a valid block.
+        let raw = unsafe { alloc_zeroed(layout) } as *mut T;
+        let ptr = NonNull::new(raw).unwrap_or_else(|| handle_alloc_error(layout));
+        AlignedBuf {
+            ptr,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Allocates a buffer initialised from a slice.
+    pub fn from_slice(src: &[T]) -> Self {
+        let mut buf = Self::zeroed(src.len());
+        buf.as_mut_slice().copy_from_slice(src);
+        buf
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Immutable element view.
+    pub fn as_slice(&self) -> &[T] {
+        // SAFETY: ptr/len describe a live allocation of initialised Pod data
+        // (zeroed at alloc time).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// Mutable element view.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        // SAFETY: as above; &mut self guarantees uniqueness.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl<T: Pod> Drop for AlignedBuf<T> {
+    fn drop(&mut self) {
+        if self.len == 0 {
+            return;
+        }
+        let align = SIMD_ALIGN.max(std::mem::align_of::<T>());
+        let layout = Layout::from_size_align(self.len * std::mem::size_of::<T>(), align)
+            .expect("invalid layout");
+        // SAFETY: allocated with the identical layout in `zeroed`.
+        unsafe { dealloc(self.ptr.as_ptr() as *mut u8, layout) };
+    }
+}
+
+impl<T: Pod> Clone for AlignedBuf<T> {
+    fn clone(&self) -> Self {
+        Self::from_slice(self.as_slice())
+    }
+}
+
+impl<T: Pod> Deref for AlignedBuf<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Pod> DerefMut for AlignedBuf<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Pod + std::fmt::Debug> std::fmt::Debug for AlignedBuf<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlignedBuf")
+            .field("len", &self.len)
+            .field("align", &SIMD_ALIGN)
+            .finish()
+    }
+}
+
+// SAFETY: AlignedBuf owns its allocation exclusively; T: Pod has no interior
+// mutability or thread affinity.
+unsafe impl<T: Pod> Send for AlignedBuf<T> {}
+unsafe impl<T: Pod> Sync for AlignedBuf<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_is_aligned_and_zeroed() {
+        let buf = AlignedBuf::<f32>::zeroed(37);
+        assert_eq!(buf.len(), 37);
+        assert_eq!(buf.as_slice().as_ptr() as usize % SIMD_ALIGN, 0);
+        assert!(buf.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_slice_copies() {
+        let src: Vec<i16> = (0..100).collect();
+        let buf = AlignedBuf::from_slice(&src);
+        assert_eq!(buf.as_slice(), src.as_slice());
+        assert_eq!(buf.as_slice().as_ptr() as usize % SIMD_ALIGN, 0);
+    }
+
+    #[test]
+    fn mutation_via_deref() {
+        let mut buf = AlignedBuf::<u8>::zeroed(16);
+        buf[3] = 42;
+        assert_eq!(buf.as_slice()[3], 42);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = AlignedBuf::<u32>::zeroed(8);
+        a[0] = 7;
+        let b = a.clone();
+        a[0] = 9;
+        assert_eq!(b[0], 7);
+    }
+
+    #[test]
+    fn empty_buffer_is_fine() {
+        let buf = AlignedBuf::<f64>::zeroed(0);
+        assert!(buf.is_empty());
+        assert_eq!(buf.as_slice().len(), 0);
+        let _clone = buf.clone();
+    }
+
+    #[test]
+    fn many_allocations_stay_aligned() {
+        for len in 1..64 {
+            let buf = AlignedBuf::<u8>::zeroed(len);
+            assert_eq!(buf.as_slice().as_ptr() as usize % SIMD_ALIGN, 0);
+        }
+    }
+}

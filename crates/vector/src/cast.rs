@@ -1,0 +1,197 @@
+//! Bit-preserving reinterpret casts between equal-width lane types.
+//!
+//! These model `vreinterpretq_*` on NEON and the implicit `__m128 <->
+//! __m128i <-> __m128d` casts (`_mm_castps_si128` etc.) on SSE. All lane
+//! types are `repr(C)` arrays of plain-old-data, so the casts are plain
+//! byte-level transmutes done safely through little-endian byte buffers.
+
+use crate::lanes::*;
+
+macro_rules! impl_bits128 {
+    ($name:ident, $elem:ty, $n:expr) => {
+        impl $name {
+            /// Serialises the register to its 16-byte little-endian image.
+            #[inline]
+            pub fn to_bytes(self) -> [u8; 16] {
+                let mut out = [0u8; 16];
+                let step = std::mem::size_of::<$elem>();
+                for (i, lane) in self.0.iter().enumerate() {
+                    out[i * step..(i + 1) * step].copy_from_slice(&lane.to_le_bytes());
+                }
+                out
+            }
+
+            /// Rebuilds the register from its 16-byte little-endian image.
+            #[inline]
+            pub fn from_bytes(bytes: [u8; 16]) -> Self {
+                let mut out = [<$elem>::default(); $n];
+                let step = std::mem::size_of::<$elem>();
+                for (i, lane) in out.iter_mut().enumerate() {
+                    let mut buf = [0u8; std::mem::size_of::<$elem>()];
+                    buf.copy_from_slice(&bytes[i * step..(i + 1) * step]);
+                    *lane = <$elem>::from_le_bytes(buf);
+                }
+                Self(out)
+            }
+        }
+    };
+}
+
+macro_rules! impl_bits64 {
+    ($name:ident, $elem:ty, $n:expr) => {
+        impl $name {
+            /// Serialises the register to its 8-byte little-endian image.
+            #[inline]
+            pub fn to_bytes(self) -> [u8; 8] {
+                let mut out = [0u8; 8];
+                let step = std::mem::size_of::<$elem>();
+                for (i, lane) in self.0.iter().enumerate() {
+                    out[i * step..(i + 1) * step].copy_from_slice(&lane.to_le_bytes());
+                }
+                out
+            }
+
+            /// Rebuilds the register from its 8-byte little-endian image.
+            #[inline]
+            pub fn from_bytes(bytes: [u8; 8]) -> Self {
+                let mut out = [<$elem>::default(); $n];
+                let step = std::mem::size_of::<$elem>();
+                for (i, lane) in out.iter_mut().enumerate() {
+                    let mut buf = [0u8; std::mem::size_of::<$elem>()];
+                    buf.copy_from_slice(&bytes[i * step..(i + 1) * step]);
+                    *lane = <$elem>::from_le_bytes(buf);
+                }
+                Self(out)
+            }
+        }
+    };
+}
+
+impl_bits128!(F32x4, f32, 4);
+impl_bits128!(F64x2, f64, 2);
+impl_bits128!(I8x16, i8, 16);
+impl_bits128!(U8x16, u8, 16);
+impl_bits128!(I16x8, i16, 8);
+impl_bits128!(U16x8, u16, 8);
+impl_bits128!(I32x4, i32, 4);
+impl_bits128!(U32x4, u32, 4);
+impl_bits128!(I64x2, i64, 2);
+impl_bits128!(U64x2, u64, 2);
+
+impl_bits64!(F32x2, f32, 2);
+impl_bits64!(I8x8, i8, 8);
+impl_bits64!(U8x8, u8, 8);
+impl_bits64!(I16x4, i16, 4);
+impl_bits64!(U16x4, u16, 4);
+impl_bits64!(I32x2, i32, 2);
+impl_bits64!(U32x2, u32, 2);
+impl_bits64!(I64x1, i64, 1);
+impl_bits64!(U64x1, u64, 1);
+
+/// Reinterprets the bits of a 128-bit register as another 128-bit type.
+///
+/// ```
+/// use simd_vector::{cast::reinterpret128, F32x4, U32x4};
+/// let ones: U32x4 = reinterpret128::<F32x4, U32x4>(F32x4::splat(1.0));
+/// assert_eq!(ones.to_array(), [0x3f80_0000u32; 4]);
+/// ```
+#[inline]
+pub fn reinterpret128<Src: Bits128, Dst: Bits128>(src: Src) -> Dst {
+    Dst::from_bits(src.to_bits())
+}
+
+/// Reinterprets the bits of a 64-bit register as another 64-bit type.
+#[inline]
+pub fn reinterpret64<Src: Bits64, Dst: Bits64>(src: Src) -> Dst {
+    Dst::from_bits(src.to_bits())
+}
+
+/// Trait unifying 128-bit registers for [`reinterpret128`].
+pub trait Bits128: Copy {
+    /// Little-endian byte image.
+    fn to_bits(self) -> [u8; 16];
+    /// Rebuild from a little-endian byte image.
+    fn from_bits(bits: [u8; 16]) -> Self;
+}
+
+/// Trait unifying 64-bit registers for [`reinterpret64`].
+pub trait Bits64: Copy {
+    /// Little-endian byte image.
+    fn to_bits(self) -> [u8; 8];
+    /// Rebuild from a little-endian byte image.
+    fn from_bits(bits: [u8; 8]) -> Self;
+}
+
+macro_rules! impl_bits_traits {
+    (128: $($t:ty),+ ; 64: $($d:ty),+) => {
+        $(impl Bits128 for $t {
+            #[inline]
+            fn to_bits(self) -> [u8; 16] { self.to_bytes() }
+            #[inline]
+            fn from_bits(bits: [u8; 16]) -> Self { Self::from_bytes(bits) }
+        })+
+        $(impl Bits64 for $d {
+            #[inline]
+            fn to_bits(self) -> [u8; 8] { self.to_bytes() }
+            #[inline]
+            fn from_bits(bits: [u8; 8]) -> Self { Self::from_bytes(bits) }
+        })+
+    };
+}
+
+impl_bits_traits!(
+    128: F32x4, F64x2, I8x16, U8x16, I16x8, U16x8, I32x4, U32x4, I64x2, U64x2 ;
+    64: F32x2, I8x8, U8x8, I16x4, U16x4, I32x2, U32x2, I64x1, U64x1
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_roundtrip_q() {
+        let v = I32x4::new([1, -2, 3, -4]);
+        assert_eq!(I32x4::from_bytes(v.to_bytes()), v);
+        let f = F32x4::new([1.5, -2.5, 0.0, f32::INFINITY]);
+        assert_eq!(F32x4::from_bytes(f.to_bytes()), f);
+    }
+
+    #[test]
+    fn bytes_roundtrip_d() {
+        let v = I16x4::new([1, -2, 3, -4]);
+        assert_eq!(I16x4::from_bytes(v.to_bytes()), v);
+    }
+
+    #[test]
+    fn reinterpret_i32_as_u8_is_little_endian() {
+        let v = I32x4::new([0x0403_0201, 0, 0, 0]);
+        let bytes: U8x16 = reinterpret128(v);
+        assert_eq!(&bytes.to_array()[..4], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn reinterpret_preserves_float_bits() {
+        let f = F32x4::splat(-0.0);
+        let u: U32x4 = reinterpret128(f);
+        assert_eq!(u.to_array(), [0x8000_0000u32; 4]);
+        let back: F32x4 = reinterpret128(u);
+        assert_eq!(back.to_bytes(), f.to_bytes());
+    }
+
+    #[test]
+    fn reinterpret64_roundtrip() {
+        let v = U8x8::new([1, 2, 3, 4, 5, 6, 7, 8]);
+        let as_u16: U16x4 = reinterpret64(v);
+        assert_eq!(as_u16.to_array(), [0x0201, 0x0403, 0x0605, 0x0807]);
+        let back: U8x8 = reinterpret64(as_u16);
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn mask_reinterpret_between_signed_and_unsigned() {
+        let mask = U16x8::new([u16::MAX, 0, u16::MAX, 0, u16::MAX, 0, u16::MAX, 0]);
+        let signed: I16x8 = reinterpret128(mask);
+        assert_eq!(signed.lane(0), -1);
+        assert_eq!(signed.lane(1), 0);
+    }
+}

@@ -1,0 +1,332 @@
+//! Floating-point lane operations and float<->int conversions.
+
+use crate::lanes::*;
+use crate::rounding;
+
+macro_rules! float_common_ops {
+    ($name:ident, $elem:ty, $mask:ident, $maskelem:ty, $n:expr) => {
+        impl $name {
+            /// Lane-wise addition.
+            #[inline]
+            pub fn add(self, rhs: Self) -> Self {
+                self.zip(rhs, |a, b| a + b)
+            }
+
+            /// Lane-wise subtraction.
+            #[inline]
+            pub fn sub(self, rhs: Self) -> Self {
+                self.zip(rhs, |a, b| a - b)
+            }
+
+            /// Lane-wise multiplication.
+            #[inline]
+            pub fn mul(self, rhs: Self) -> Self {
+                self.zip(rhs, |a, b| a * b)
+            }
+
+            /// Lane-wise division.
+            #[inline]
+            pub fn div(self, rhs: Self) -> Self {
+                self.zip(rhs, |a, b| a / b)
+            }
+
+            /// Fused-looking multiply-add `self + a * b` computed unfused,
+            /// matching NEON `vmla` on the paper's VFPv3/NEON parts (which
+            /// perform a rounded multiply then a rounded add).
+            #[inline]
+            pub fn mul_add(self, a: Self, b: Self) -> Self {
+                let prod = a.mul(b);
+                self.add(prod)
+            }
+
+            /// Lane-wise minimum with IEEE `minps` semantics: if either
+            /// operand is NaN, the *second* operand is returned.
+            #[inline]
+            pub fn min(self, rhs: Self) -> Self {
+                self.zip(rhs, |a, b| if a < b { a } else { b })
+            }
+
+            /// Lane-wise maximum with IEEE `maxps` semantics.
+            #[inline]
+            pub fn max(self, rhs: Self) -> Self {
+                self.zip(rhs, |a, b| if a > b { a } else { b })
+            }
+
+            /// Lane-wise square root.
+            #[inline]
+            pub fn sqrt(self) -> Self {
+                self.map(|a| a.sqrt())
+            }
+
+            /// Lane-wise absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                self.map(|a| a.abs())
+            }
+
+            /// Lane-wise negation.
+            #[inline]
+            pub fn neg(self) -> Self {
+                self.map(|a| -a)
+            }
+
+            /// Lane-wise `self > rhs` mask (all-ones for true; NaN compares
+            /// false, matching `cmpgtps` / `vcgtq_f32`).
+            #[inline]
+            pub fn cmp_gt(self, rhs: Self) -> $mask {
+                let mut out = [0 as $maskelem; $n];
+                for i in 0..$n {
+                    out[i] = if self.0[i] > rhs.0[i] {
+                        <$maskelem>::MAX
+                    } else {
+                        0
+                    };
+                }
+                $mask(out)
+            }
+
+            /// Lane-wise `self >= rhs` mask.
+            #[inline]
+            pub fn cmp_ge(self, rhs: Self) -> $mask {
+                let mut out = [0 as $maskelem; $n];
+                for i in 0..$n {
+                    out[i] = if self.0[i] >= rhs.0[i] {
+                        <$maskelem>::MAX
+                    } else {
+                        0
+                    };
+                }
+                $mask(out)
+            }
+
+            /// Lane-wise equality mask (NaN != NaN).
+            #[inline]
+            pub fn cmp_eq(self, rhs: Self) -> $mask {
+                let mut out = [0 as $maskelem; $n];
+                for i in 0..$n {
+                    out[i] = if self.0[i] == rhs.0[i] {
+                        <$maskelem>::MAX
+                    } else {
+                        0
+                    };
+                }
+                $mask(out)
+            }
+
+            /// Lane-wise `self < rhs` mask.
+            #[inline]
+            pub fn cmp_lt(self, rhs: Self) -> $mask {
+                rhs.cmp_gt(self)
+            }
+
+            /// Lane-wise `self <= rhs` mask.
+            #[inline]
+            pub fn cmp_le(self, rhs: Self) -> $mask {
+                rhs.cmp_ge(self)
+            }
+
+            /// Horizontal sum (left-to-right order, matching a scalar loop).
+            #[inline]
+            pub fn reduce_sum(self) -> $elem {
+                self.fold(0.0, |acc, x| acc + x)
+            }
+        }
+    };
+}
+
+float_common_ops!(F32x4, f32, U32x4, u32, 4);
+float_common_ops!(F32x2, f32, U32x2, u32, 2);
+float_common_ops!(F64x2, f64, U64x2, u64, 2);
+
+impl F32x4 {
+    /// Converts to `i32` lanes, truncating toward zero
+    /// (`_mm_cvttps_epi32` / ARMv7 `vcvtq_s32_f32`).
+    ///
+    /// Out-of-range and NaN lanes follow the *NEON* convention of saturating
+    /// (NaN becomes 0); use [`Self::to_i32_truncate_sse`] for the SSE
+    /// "integer indefinite" convention.
+    #[inline]
+    pub fn to_i32_truncate(self) -> I32x4 {
+        I32x4([
+            rounding::f32_to_i32_truncate_saturate(self.0[0]),
+            rounding::f32_to_i32_truncate_saturate(self.0[1]),
+            rounding::f32_to_i32_truncate_saturate(self.0[2]),
+            rounding::f32_to_i32_truncate_saturate(self.0[3]),
+        ])
+    }
+
+    /// Converts to `i32` lanes, truncating, with SSE out-of-range semantics
+    /// (`0x8000_0000` for NaN/overflow).
+    #[inline]
+    pub fn to_i32_truncate_sse(self) -> I32x4 {
+        I32x4([
+            rounding::f32_to_i32_truncate_sse(self.0[0]),
+            rounding::f32_to_i32_truncate_sse(self.0[1]),
+            rounding::f32_to_i32_truncate_sse(self.0[2]),
+            rounding::f32_to_i32_truncate_sse(self.0[3]),
+        ])
+    }
+
+    /// Converts to `i32` lanes rounding to nearest, ties to even
+    /// (`_mm_cvtps_epi32` under the default MXCSR rounding mode, and ARMv8
+    /// `vcvtnq_s32_f32`), saturating out-of-range values.
+    #[inline]
+    pub fn to_i32_round(self) -> I32x4 {
+        I32x4([
+            rounding::f32_to_i32_round_saturate(self.0[0]),
+            rounding::f32_to_i32_round_saturate(self.0[1]),
+            rounding::f32_to_i32_round_saturate(self.0[2]),
+            rounding::f32_to_i32_round_saturate(self.0[3]),
+        ])
+    }
+
+    /// Converts to `i32` lanes rounding to nearest-even with SSE
+    /// out-of-range semantics (`0x8000_0000`).
+    #[inline]
+    pub fn to_i32_round_sse(self) -> I32x4 {
+        I32x4([
+            rounding::f32_to_i32_round_sse(self.0[0]),
+            rounding::f32_to_i32_round_sse(self.0[1]),
+            rounding::f32_to_i32_round_sse(self.0[2]),
+            rounding::f32_to_i32_round_sse(self.0[3]),
+        ])
+    }
+
+    /// Reciprocal estimate (`rcpps` / `vrecpeq_f32`), implemented exactly as
+    /// `1/x` — the simulated platforms do not model the reduced-precision
+    /// estimate tables.
+    #[inline]
+    pub fn recip_estimate(self) -> Self {
+        self.map(|a| 1.0 / a)
+    }
+
+    /// Reciprocal square-root estimate (`rsqrtps` / `vrsqrteq_f32`).
+    #[inline]
+    pub fn rsqrt_estimate(self) -> Self {
+        self.map(|a| 1.0 / a.sqrt())
+    }
+}
+
+impl I32x4 {
+    /// Converts each lane to `f32` (`_mm_cvtepi32_ps` / `vcvtq_f32_s32`).
+    #[inline]
+    pub fn to_f32(self) -> F32x4 {
+        F32x4([
+            self.0[0] as f32,
+            self.0[1] as f32,
+            self.0[2] as f32,
+            self.0[3] as f32,
+        ])
+    }
+}
+
+impl U32x4 {
+    /// Converts each lane to `f32` (`vcvtq_f32_u32`).
+    #[inline]
+    pub fn to_f32(self) -> F32x4 {
+        F32x4([
+            self.0[0] as f32,
+            self.0[1] as f32,
+            self.0[2] as f32,
+            self.0[3] as f32,
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_arith() {
+        let a = F32x4::new([1.0, 2.0, 3.0, 4.0]);
+        let b = F32x4::new([0.5, 0.5, 0.5, 0.5]);
+        assert_eq!(a.add(b).to_array(), [1.5, 2.5, 3.5, 4.5]);
+        assert_eq!(a.sub(b).to_array(), [0.5, 1.5, 2.5, 3.5]);
+        assert_eq!(a.mul(b).to_array(), [0.5, 1.0, 1.5, 2.0]);
+        assert_eq!(a.div(b).to_array(), [2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn mul_add_is_unfused() {
+        let acc = F32x4::splat(1.0);
+        let a = F32x4::splat(2.0);
+        let b = F32x4::splat(3.0);
+        assert_eq!(acc.mul_add(a, b).to_array(), [7.0; 4]);
+    }
+
+    #[test]
+    fn min_max_nan_second_operand_rule() {
+        let a = F32x4::new([f32::NAN, 1.0, 5.0, f32::NAN]);
+        let b = F32x4::new([2.0, f32::NAN, 3.0, f32::NAN]);
+        let min = a.min(b);
+        // minps: NaN in either lane -> second operand (b).
+        assert_eq!(min.lane(0), 2.0);
+        assert!(min.lane(1).is_nan());
+        assert_eq!(min.lane(2), 3.0);
+        assert!(min.lane(3).is_nan());
+    }
+
+    #[test]
+    fn compare_masks() {
+        let a = F32x4::new([1.0, 2.0, f32::NAN, 4.0]);
+        let b = F32x4::splat(2.0);
+        let gt = a.cmp_gt(b);
+        assert_eq!(gt.to_array(), [0, 0, 0, u32::MAX]);
+        let ge = a.cmp_ge(b);
+        assert_eq!(ge.to_array(), [0, u32::MAX, 0, u32::MAX]);
+        let lt = a.cmp_lt(b);
+        assert_eq!(lt.to_array(), [u32::MAX, 0, 0, 0]);
+    }
+
+    #[test]
+    fn truncate_vs_round_conversion() {
+        let v = F32x4::new([1.5, 2.5, -1.5, -2.5]);
+        // Truncation drops toward zero.
+        assert_eq!(v.to_i32_truncate().to_array(), [1, 2, -1, -2]);
+        // Round-ties-even: 1.5->2, 2.5->2, -1.5->-2, -2.5->-2.
+        assert_eq!(v.to_i32_round().to_array(), [2, 2, -2, -2]);
+    }
+
+    #[test]
+    fn conversion_saturation_conventions() {
+        let big = F32x4::new([3e9, -3e9, f32::NAN, 100.0]);
+        assert_eq!(
+            big.to_i32_truncate().to_array(),
+            [i32::MAX, i32::MIN, 0, 100]
+        );
+        assert_eq!(
+            big.to_i32_truncate_sse().to_array(),
+            [i32::MIN, i32::MIN, i32::MIN, 100]
+        );
+        assert_eq!(big.to_i32_round_sse().lane(2), i32::MIN);
+    }
+
+    #[test]
+    fn int_to_float_roundtrip_small() {
+        let v = I32x4::new([-7, 0, 42, 1_000_000]);
+        assert_eq!(v.to_f32().to_array(), [-7.0, 0.0, 42.0, 1_000_000.0]);
+        assert_eq!(v.to_f32().to_i32_round().to_array(), v.to_array());
+    }
+
+    #[test]
+    fn reduce_sum_order() {
+        let v = F32x4::new([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(v.reduce_sum(), 10.0);
+    }
+
+    #[test]
+    fn f64_lanes() {
+        let a = F64x2::new([1.5, -2.5]);
+        let b = F64x2::splat(2.0);
+        assert_eq!(a.mul(b).to_array(), [3.0, -5.0]);
+        assert_eq!(a.cmp_lt(b).to_array(), [u64::MAX, u64::MAX]);
+    }
+
+    #[test]
+    fn estimates_match_exact_math_in_sim() {
+        let v = F32x4::new([1.0, 4.0, 16.0, 64.0]);
+        assert_eq!(v.recip_estimate().to_array(), [1.0, 0.25, 0.0625, 0.015625]);
+        assert_eq!(v.rsqrt_estimate().to_array(), [1.0, 0.5, 0.25, 0.125]);
+    }
+}

@@ -1,0 +1,610 @@
+//! Integer lane operations shared by both ISA surfaces.
+//!
+//! Wrapping arithmetic models the modular behaviour of `padd*`/`vadd*`;
+//! saturating arithmetic models `padds*`/`vqadd*`. Compare operations return
+//! a mask vector of the *unsigned* counterpart type with all-ones lanes for
+//! true, matching both `pcmpgt*` and `vcgt*` semantics.
+
+use crate::lanes::*;
+
+macro_rules! int_common_ops {
+    ($name:ident, $elem:ty, $mask:ident, $maskelem:ty, $n:expr) => {
+        impl $name {
+            /// Lane-wise wrapping addition.
+            #[inline]
+            pub fn wrapping_add(self, rhs: Self) -> Self {
+                self.zip(rhs, |a, b| a.wrapping_add(b))
+            }
+
+            /// Lane-wise wrapping subtraction.
+            #[inline]
+            pub fn wrapping_sub(self, rhs: Self) -> Self {
+                self.zip(rhs, |a, b| a.wrapping_sub(b))
+            }
+
+            /// Lane-wise low half of the product (`pmullw` / `vmul`).
+            #[inline]
+            pub fn wrapping_mul(self, rhs: Self) -> Self {
+                self.zip(rhs, |a, b| a.wrapping_mul(b))
+            }
+
+            /// Lane-wise saturating addition.
+            #[inline]
+            pub fn saturating_add(self, rhs: Self) -> Self {
+                self.zip(rhs, |a, b| a.saturating_add(b))
+            }
+
+            /// Lane-wise saturating subtraction.
+            #[inline]
+            pub fn saturating_sub(self, rhs: Self) -> Self {
+                self.zip(rhs, |a, b| a.saturating_sub(b))
+            }
+
+            /// Lane-wise minimum.
+            #[inline]
+            pub fn min(self, rhs: Self) -> Self {
+                self.zip(rhs, |a, b| a.min(b))
+            }
+
+            /// Lane-wise maximum.
+            #[inline]
+            pub fn max(self, rhs: Self) -> Self {
+                self.zip(rhs, |a, b| a.max(b))
+            }
+
+            /// Lane-wise bitwise AND.
+            #[inline]
+            pub fn and(self, rhs: Self) -> Self {
+                self.zip(rhs, |a, b| a & b)
+            }
+
+            /// Lane-wise bitwise OR.
+            #[inline]
+            pub fn or(self, rhs: Self) -> Self {
+                self.zip(rhs, |a, b| a | b)
+            }
+
+            /// Lane-wise bitwise XOR.
+            #[inline]
+            pub fn xor(self, rhs: Self) -> Self {
+                self.zip(rhs, |a, b| a ^ b)
+            }
+
+            /// Lane-wise bitwise NOT.
+            #[inline]
+            pub fn not(self) -> Self {
+                self.map(|a| !a)
+            }
+
+            /// Lane-wise AND-NOT: `!self & rhs` (SSE `pandn` operand order).
+            #[inline]
+            pub fn andnot(self, rhs: Self) -> Self {
+                self.zip(rhs, |a, b| !a & b)
+            }
+
+            /// Lane-wise bit clear: `self & !rhs` (NEON `vbic` operand order).
+            #[inline]
+            pub fn bic(self, rhs: Self) -> Self {
+                self.zip(rhs, |a, b| a & !b)
+            }
+
+            /// Lane-wise logical shift left by `n` bits. Shifts of the full
+            /// lane width or more produce zero (SSE/NEON immediate-shift
+            /// behaviour for in-range immediates; out-of-range is defined
+            /// here as zero).
+            #[inline]
+            pub fn shl(self, n: u32) -> Self {
+                const BITS: u32 = <$elem>::BITS;
+                if n >= BITS {
+                    Self::splat(0 as $elem)
+                } else {
+                    self.map(|a| ((a as $maskelem) << n) as $elem)
+                }
+            }
+
+            /// Lane-wise *logical* shift right by `n` bits (zero fill).
+            #[inline]
+            pub fn shr_logical(self, n: u32) -> Self {
+                const BITS: u32 = <$elem>::BITS;
+                if n >= BITS {
+                    Self::splat(0 as $elem)
+                } else {
+                    self.map(|a| ((a as $maskelem) >> n) as $elem)
+                }
+            }
+
+            /// Lane-wise equality compare producing an all-ones/zero mask.
+            #[inline]
+            pub fn cmp_eq(self, rhs: Self) -> $mask {
+                let mut out = [0 as $maskelem; $n];
+                for i in 0..$n {
+                    out[i] = if self.0[i] == rhs.0[i] {
+                        <$maskelem>::MAX
+                    } else {
+                        0
+                    };
+                }
+                $mask(out)
+            }
+
+            /// Lane-wise `self > rhs` mask.
+            #[inline]
+            pub fn cmp_gt(self, rhs: Self) -> $mask {
+                let mut out = [0 as $maskelem; $n];
+                for i in 0..$n {
+                    out[i] = if self.0[i] > rhs.0[i] {
+                        <$maskelem>::MAX
+                    } else {
+                        0
+                    };
+                }
+                $mask(out)
+            }
+
+            /// Lane-wise `self >= rhs` mask.
+            #[inline]
+            pub fn cmp_ge(self, rhs: Self) -> $mask {
+                let mut out = [0 as $maskelem; $n];
+                for i in 0..$n {
+                    out[i] = if self.0[i] >= rhs.0[i] {
+                        <$maskelem>::MAX
+                    } else {
+                        0
+                    };
+                }
+                $mask(out)
+            }
+
+            /// Lane-wise `self < rhs` mask.
+            #[inline]
+            pub fn cmp_lt(self, rhs: Self) -> $mask {
+                rhs.cmp_gt(self)
+            }
+
+            /// Lane-wise `self <= rhs` mask.
+            #[inline]
+            pub fn cmp_le(self, rhs: Self) -> $mask {
+                rhs.cmp_ge(self)
+            }
+
+            /// Horizontal sum with wrapping arithmetic.
+            #[inline]
+            pub fn reduce_wrapping_sum(self) -> $elem {
+                self.fold(0 as $elem, |acc, x| acc.wrapping_add(x))
+            }
+        }
+    };
+}
+
+// Q types.
+int_common_ops!(I8x16, i8, U8x16, u8, 16);
+int_common_ops!(U8x16, u8, U8x16, u8, 16);
+int_common_ops!(I16x8, i16, U16x8, u16, 8);
+int_common_ops!(U16x8, u16, U16x8, u16, 8);
+int_common_ops!(I32x4, i32, U32x4, u32, 4);
+int_common_ops!(U32x4, u32, U32x4, u32, 4);
+int_common_ops!(I64x2, i64, U64x2, u64, 2);
+int_common_ops!(U64x2, u64, U64x2, u64, 2);
+// D types.
+int_common_ops!(I8x8, i8, U8x8, u8, 8);
+int_common_ops!(U8x8, u8, U8x8, u8, 8);
+int_common_ops!(I16x4, i16, U16x4, u16, 4);
+int_common_ops!(U16x4, u16, U16x4, u16, 4);
+int_common_ops!(I32x2, i32, U32x2, u32, 2);
+int_common_ops!(U32x2, u32, U32x2, u32, 2);
+
+macro_rules! signed_extra_ops {
+    ($name:ident, $elem:ty) => {
+        impl $name {
+            /// Lane-wise wrapping absolute value (`vabs`; `|MIN| == MIN`).
+            #[inline]
+            pub fn abs(self) -> Self {
+                self.map(|a| a.wrapping_abs())
+            }
+
+            /// Lane-wise saturating absolute value (`vqabs`).
+            #[inline]
+            pub fn saturating_abs(self) -> Self {
+                self.map(|a| if a == <$elem>::MIN { <$elem>::MAX } else { a.abs() })
+            }
+
+            /// Lane-wise arithmetic shift right (sign fill).
+            #[inline]
+            pub fn shr_arithmetic(self, n: u32) -> Self {
+                const BITS: u32 = <$elem>::BITS;
+                let n = n.min(BITS - 1);
+                self.map(|a| a >> n)
+            }
+
+            /// Lane-wise wrapping negation.
+            #[inline]
+            pub fn neg(self) -> Self {
+                self.map(|a| a.wrapping_neg())
+            }
+        }
+    };
+}
+
+signed_extra_ops!(I8x16, i8);
+signed_extra_ops!(I16x8, i16);
+signed_extra_ops!(I32x4, i32);
+signed_extra_ops!(I64x2, i64);
+signed_extra_ops!(I8x8, i8);
+signed_extra_ops!(I16x4, i16);
+signed_extra_ops!(I32x2, i32);
+
+macro_rules! unsigned_select {
+    ($name:ident, $elem:ty) => {
+        impl $name {
+            /// Bitwise select (`vbsl`): for each *bit*, picks from `a` where
+            /// the mask bit is 1 and from `b` where it is 0.
+            #[inline]
+            pub fn bitselect(self, a: Self, b: Self) -> Self {
+                let mut out = self;
+                for i in 0..Self::LANES {
+                    out.0[i] = (a.0[i] & self.0[i]) | (b.0[i] & !self.0[i]);
+                }
+                out
+            }
+
+            /// Lane-wise average with rounding up (`pavg` / `vrhadd`):
+            /// `(a + b + 1) >> 1` without intermediate overflow.
+            #[inline]
+            pub fn avg_round(self, rhs: Self) -> Self {
+                self.zip(rhs, |a, b| {
+                    (((a as u64) + (b as u64) + 1) >> 1) as $elem
+                })
+            }
+
+            /// Lane-wise halving add, truncating (`vhadd`): `(a + b) >> 1`.
+            #[inline]
+            pub fn halving_add(self, rhs: Self) -> Self {
+                self.zip(rhs, |a, b| (((a as u64) + (b as u64)) >> 1) as $elem)
+            }
+
+            /// Lane-wise absolute difference (`psadbw` building block /
+            /// `vabd`).
+            #[inline]
+            pub fn abs_diff(self, rhs: Self) -> Self {
+                self.zip(rhs, |a, b| if a > b { a - b } else { b - a })
+            }
+        }
+    };
+}
+
+unsigned_select!(U8x16, u8);
+unsigned_select!(U16x8, u16);
+unsigned_select!(U32x4, u32);
+unsigned_select!(U64x2, u64);
+unsigned_select!(U8x8, u8);
+unsigned_select!(U16x4, u16);
+unsigned_select!(U32x2, u32);
+
+// ---------------------------------------------------------------------------
+// Widening / narrowing between lane widths (shared by packs / vqmovn etc.)
+// ---------------------------------------------------------------------------
+
+impl I32x4 {
+    /// Saturating narrow of two `i32x4` into one `i16x8`
+    /// (`_mm_packs_epi32(lo, hi)` == `vcombine_s16(vqmovn_s32(lo), vqmovn_s32(hi))`).
+    #[inline]
+    pub fn narrow_saturate_i16(lo: Self, hi: Self) -> I16x8 {
+        let clamp = |v: i32| v.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+        I16x8([
+            clamp(lo.0[0]),
+            clamp(lo.0[1]),
+            clamp(lo.0[2]),
+            clamp(lo.0[3]),
+            clamp(hi.0[0]),
+            clamp(hi.0[1]),
+            clamp(hi.0[2]),
+            clamp(hi.0[3]),
+        ])
+    }
+
+    /// Saturating narrow of one `i32x4` to `i16x4` (`vqmovn_s32`).
+    #[inline]
+    pub fn narrow_saturate_i16_half(self) -> I16x4 {
+        let clamp = |v: i32| v.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+        I16x4([
+            clamp(self.0[0]),
+            clamp(self.0[1]),
+            clamp(self.0[2]),
+            clamp(self.0[3]),
+        ])
+    }
+
+    /// Unsigned-saturating narrow to `u16x4` (`vqmovun_s32`).
+    #[inline]
+    pub fn narrow_saturate_u16_half(self) -> U16x4 {
+        let clamp = |v: i32| v.clamp(0, u16::MAX as i32) as u16;
+        U16x4([
+            clamp(self.0[0]),
+            clamp(self.0[1]),
+            clamp(self.0[2]),
+            clamp(self.0[3]),
+        ])
+    }
+}
+
+impl I16x8 {
+    /// Saturating narrow of two `i16x8` into one `i8x16` (`_mm_packs_epi16`).
+    #[inline]
+    pub fn narrow_saturate_i8(lo: Self, hi: Self) -> I8x16 {
+        let clamp = |v: i16| v.clamp(i8::MIN as i16, i8::MAX as i16) as i8;
+        let mut out = [0i8; 16];
+        for i in 0..8 {
+            out[i] = clamp(lo.0[i]);
+            out[8 + i] = clamp(hi.0[i]);
+        }
+        I8x16(out)
+    }
+
+    /// Unsigned-saturating narrow of two `i16x8` into one `u8x16`
+    /// (`_mm_packus_epi16`).
+    #[inline]
+    pub fn narrow_saturate_u8(lo: Self, hi: Self) -> U8x16 {
+        let clamp = |v: i16| v.clamp(0, u8::MAX as i16) as u8;
+        let mut out = [0u8; 16];
+        for i in 0..8 {
+            out[i] = clamp(lo.0[i]);
+            out[8 + i] = clamp(hi.0[i]);
+        }
+        U8x16(out)
+    }
+
+    /// Unsigned-saturating narrow of one `i16x8` to `u8x8` (`vqmovun_s16`).
+    #[inline]
+    pub fn narrow_saturate_u8_half(self) -> U8x8 {
+        let clamp = |v: i16| v.clamp(0, u8::MAX as i16) as u8;
+        let mut out = [0u8; 8];
+        for i in 0..8 {
+            out[i] = clamp(self.0[i]);
+        }
+        U8x8(out)
+    }
+
+    /// Saturating narrow of one `i16x8` to `i8x8` (`vqmovn_s16`).
+    #[inline]
+    pub fn narrow_saturate_i8_half(self) -> I8x8 {
+        let clamp = |v: i16| v.clamp(i8::MIN as i16, i8::MAX as i16) as i8;
+        let mut out = [0i8; 8];
+        for i in 0..8 {
+            out[i] = clamp(self.0[i]);
+        }
+        I8x8(out)
+    }
+
+    /// Widening multiply-accumulate of the low halves:
+    /// `acc + a.low()*b.low()` per `i32` lane pair (`pmaddwd` building block).
+    #[inline]
+    pub fn madd(self, rhs: Self) -> I32x4 {
+        let mut out = [0i32; 4];
+        for i in 0..4 {
+            let p0 = (self.0[2 * i] as i32) * (rhs.0[2 * i] as i32);
+            let p1 = (self.0[2 * i + 1] as i32) * (rhs.0[2 * i + 1] as i32);
+            out[i] = p0.wrapping_add(p1);
+        }
+        I32x4(out)
+    }
+
+    /// High half of the 32-bit product per lane (`pmulhw`).
+    #[inline]
+    pub fn mul_high(self, rhs: Self) -> Self {
+        self.zip(rhs, |a, b| (((a as i32) * (b as i32)) >> 16) as i16)
+    }
+}
+
+impl U8x8 {
+    /// Zero-extends each `u8` lane to `u16` (`vmovl_u8`).
+    #[inline]
+    pub fn widen_u16(self) -> U16x8 {
+        let mut out = [0u16; 8];
+        for i in 0..8 {
+            out[i] = self.0[i] as u16;
+        }
+        U16x8(out)
+    }
+
+    /// Zero-extends each `u8` lane to `i16` (`vreinterpret` of `vmovl_u8`).
+    #[inline]
+    pub fn widen_i16(self) -> I16x8 {
+        let mut out = [0i16; 8];
+        for i in 0..8 {
+            out[i] = self.0[i] as i16;
+        }
+        I16x8(out)
+    }
+}
+
+impl I16x4 {
+    /// Sign-extends each `i16` lane to `i32` (`vmovl_s16`).
+    #[inline]
+    pub fn widen_i32(self) -> I32x4 {
+        I32x4([
+            self.0[0] as i32,
+            self.0[1] as i32,
+            self.0[2] as i32,
+            self.0[3] as i32,
+        ])
+    }
+}
+
+impl U16x4 {
+    /// Zero-extends each `u16` lane to `u32` (`vmovl_u16`).
+    #[inline]
+    pub fn widen_u32(self) -> U32x4 {
+        U32x4([
+            self.0[0] as u32,
+            self.0[1] as u32,
+            self.0[2] as u32,
+            self.0[3] as u32,
+        ])
+    }
+}
+
+impl U16x8 {
+    /// Narrows each `u16` lane to `u8`, truncating (`vmovn_u16`).
+    #[inline]
+    pub fn narrow_truncate_u8(self) -> U8x8 {
+        let mut out = [0u8; 8];
+        for i in 0..8 {
+            out[i] = self.0[i] as u8;
+        }
+        U8x8(out)
+    }
+
+    /// Narrows each `u16` lane to `u8` with unsigned saturation
+    /// (`vqmovn_u16`).
+    #[inline]
+    pub fn narrow_saturate_u8_half(self) -> U8x8 {
+        let mut out = [0u8; 8];
+        for i in 0..8 {
+            out[i] = self.0[i].min(u8::MAX as u16) as u8;
+        }
+        U8x8(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapping_and_saturating_add() {
+        let a = I16x8::splat(i16::MAX);
+        let b = I16x8::splat(1);
+        assert_eq!(a.wrapping_add(b).to_array(), [i16::MIN; 8]);
+        assert_eq!(a.saturating_add(b).to_array(), [i16::MAX; 8]);
+        let c = U8x16::splat(250);
+        let d = U8x16::splat(10);
+        assert_eq!(c.wrapping_add(d).lane(0), 4);
+        assert_eq!(c.saturating_add(d).lane(0), 255);
+    }
+
+    #[test]
+    fn compare_masks_are_all_ones_or_zero() {
+        let a = U8x16::new([0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]);
+        let t = U8x16::splat(7);
+        let mask = a.cmp_gt(t);
+        for i in 0..16 {
+            assert_eq!(mask.lane(i), if i > 7 { 0xFF } else { 0 });
+        }
+        let ge = a.cmp_ge(t);
+        assert_eq!(ge.lane(7), 0xFF);
+        assert_eq!(ge.lane(6), 0);
+        let lt = a.cmp_lt(t);
+        assert_eq!(lt.lane(6), 0xFF);
+        assert_eq!(lt.lane(7), 0);
+    }
+
+    #[test]
+    fn bitselect_picks_per_bit() {
+        let mask = U8x16::new([
+            0xFF, 0x00, 0xF0, 0x0F, 0xFF, 0x00, 0xFF, 0x00, 0xFF, 0x00, 0xFF, 0x00, 0xFF, 0x00,
+            0xFF, 0x00,
+        ]);
+        let a = U8x16::splat(0xAB);
+        let b = U8x16::splat(0xCD);
+        let r = mask.bitselect(a, b);
+        assert_eq!(r.lane(0), 0xAB);
+        assert_eq!(r.lane(1), 0xCD);
+        assert_eq!(r.lane(2), (0xAB & 0xF0) | (0xCD & 0x0F));
+        assert_eq!(r.lane(3), (0xAB & 0x0F) | (0xCD & 0xF0));
+    }
+
+    #[test]
+    fn shifts() {
+        let v = I16x8::splat(-16);
+        assert_eq!(v.shr_arithmetic(2).lane(0), -4);
+        assert_eq!(v.shr_logical(2).lane(0), ((-16i16 as u16) >> 2) as i16);
+        assert_eq!(I32x4::splat(3).shl(4).lane(0), 48);
+        assert_eq!(I32x4::splat(3).shl(40).lane(0), 0);
+        assert_eq!(U16x8::splat(0x8000).shr_logical(15).lane(0), 1);
+    }
+
+    #[test]
+    fn narrow_saturate_i16_matches_packs() {
+        let lo = I32x4::new([70000, -70000, 5, i32::MAX]);
+        let hi = I32x4::new([i32::MIN, 0, 32767, -32768]);
+        let packed = I32x4::narrow_saturate_i16(lo, hi);
+        assert_eq!(
+            packed.to_array(),
+            [32767, -32768, 5, 32767, -32768, 0, 32767, -32768]
+        );
+        // vqmovn + vcombine path must agree.
+        let neon_style = I16x8::combine(
+            lo.narrow_saturate_i16_half(),
+            hi.narrow_saturate_i16_half(),
+        );
+        assert_eq!(neon_style, packed);
+    }
+
+    #[test]
+    fn narrow_saturate_u8_clamps_both_ends() {
+        let lo = I16x8::new([-5, 0, 127, 128, 255, 256, 300, -1]);
+        let hi = I16x8::splat(1000);
+        let packed = I16x8::narrow_saturate_u8(lo, hi);
+        assert_eq!(
+            packed.to_array()[..8],
+            [0, 0, 127, 128, 255, 255, 255, 0]
+        );
+        assert_eq!(packed.to_array()[8..], [255u8; 8]);
+    }
+
+    #[test]
+    fn widen_roundtrip() {
+        let v = U8x8::new([0, 1, 127, 128, 200, 255, 7, 9]);
+        assert_eq!(
+            v.widen_u16().to_array(),
+            [0, 1, 127, 128, 200, 255, 7, 9]
+        );
+        assert_eq!(v.widen_i16().lane(5), 255i16);
+        assert_eq!(v.widen_u16().narrow_truncate_u8(), v);
+    }
+
+    #[test]
+    fn madd_pairs() {
+        let a = I16x8::new([1, 2, 3, 4, 5, 6, 7, 8]);
+        let b = I16x8::new([10, 20, 30, 40, 50, 60, 70, 80]);
+        // (1*10+2*20, 3*30+4*40, 5*50+6*60, 7*70+8*80)
+        assert_eq!(a.madd(b).to_array(), [50, 250, 610, 1130]);
+    }
+
+    #[test]
+    fn abs_and_saturating_abs() {
+        let v = I16x8::new([i16::MIN, -5, 0, 5, 100, -100, 32767, -32767]);
+        assert_eq!(v.abs().lane(0), i16::MIN); // wrapping behaviour of vabs
+        assert_eq!(v.saturating_abs().lane(0), i16::MAX);
+        assert_eq!(v.abs().lane(1), 5);
+    }
+
+    #[test]
+    fn avg_and_halving() {
+        let a = U8x16::splat(255);
+        let b = U8x16::splat(254);
+        assert_eq!(a.avg_round(b).lane(0), 255); // (255+254+1)/2
+        assert_eq!(a.halving_add(b).lane(0), 254); // (255+254)/2 truncated
+        assert_eq!(a.abs_diff(b).lane(0), 1);
+        assert_eq!(b.abs_diff(a).lane(0), 1);
+    }
+
+    #[test]
+    fn mul_high() {
+        let a = I16x8::splat(0x4000);
+        let b = I16x8::splat(0x0200);
+        // 0x4000 * 0x0200 = 0x0080_0000; >> 16 = 0x0080
+        assert_eq!(a.mul_high(b).lane(0), 0x0080);
+    }
+
+    #[test]
+    fn logical_ops_and_andnot_bic() {
+        let a = U32x4::splat(0b1100);
+        let b = U32x4::splat(0b1010);
+        assert_eq!(a.and(b).lane(0), 0b1000);
+        assert_eq!(a.or(b).lane(0), 0b1110);
+        assert_eq!(a.xor(b).lane(0), 0b0110);
+        assert_eq!(a.andnot(b).lane(0), !0b1100u32 & 0b1010);
+        assert_eq!(a.bic(b).lane(0), 0b1100 & !0b1010u32);
+    }
+}

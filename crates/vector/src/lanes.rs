@@ -1,0 +1,441 @@
+//! Definition of the Q (128-bit) and D (64-bit) lane types.
+
+use std::fmt;
+
+macro_rules! define_lane_type {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $elem:ty, $n:expr, $align:literal
+    ) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Default)]
+        #[repr(C, align($align))]
+        pub struct $name(pub [$elem; $n]);
+
+        impl $name {
+            /// Number of lanes.
+            pub const LANES: usize = $n;
+
+            /// Builds a vector from an array (lane 0 = first element).
+            #[inline]
+            pub const fn new(lanes: [$elem; $n]) -> Self {
+                $name(lanes)
+            }
+
+            /// Broadcasts one value to all lanes.
+            #[inline]
+            pub fn splat(v: $elem) -> Self {
+                $name([v; $n])
+            }
+
+            /// Returns the lanes as an array.
+            #[inline]
+            pub const fn to_array(self) -> [$elem; $n] {
+                self.0
+            }
+
+            /// Reads one lane (panics if `i >= LANES`).
+            #[inline]
+            pub fn lane(self, i: usize) -> $elem {
+                self.0[i]
+            }
+
+            /// Returns a copy with lane `i` replaced by `v`.
+            #[inline]
+            pub fn with_lane(mut self, i: usize, v: $elem) -> Self {
+                self.0[i] = v;
+                self
+            }
+
+            /// Loads `LANES` elements from the front of `src`.
+            ///
+            /// This models an *unaligned* vector load: only the slice length
+            /// is checked, not its address.
+            #[inline]
+            #[track_caller]
+            pub fn load(src: &[$elem]) -> Self {
+                let mut lanes = [<$elem>::default(); $n];
+                lanes.copy_from_slice(&src[..$n]);
+                $name(lanes)
+            }
+
+            /// Stores all lanes to the front of `dst` (unaligned semantics).
+            #[inline]
+            #[track_caller]
+            pub fn store(self, dst: &mut [$elem]) {
+                dst[..$n].copy_from_slice(&self.0);
+            }
+
+            /// Applies `f` to every lane.
+            #[inline]
+            pub fn map(self, f: impl Fn($elem) -> $elem) -> Self {
+                let mut out = self.0;
+                for lane in out.iter_mut() {
+                    *lane = f(*lane);
+                }
+                $name(out)
+            }
+
+            /// Applies `f` lane-wise to `self` and `rhs`.
+            #[inline]
+            pub fn zip(self, rhs: Self, f: impl Fn($elem, $elem) -> $elem) -> Self {
+                let mut out = self.0;
+                for (lane, r) in out.iter_mut().zip(rhs.0.iter()) {
+                    *lane = f(*lane, *r);
+                }
+                $name(out)
+            }
+
+            /// Folds all lanes with `f`, starting from `init`.
+            #[inline]
+            pub fn fold<A>(self, init: A, mut f: impl FnMut(A, $elem) -> A) -> A {
+                let mut acc = init;
+                for lane in self.0.iter() {
+                    acc = f(acc, *lane);
+                }
+                acc
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}({:?})", stringify!($name), self.0)
+            }
+        }
+
+        impl From<[$elem; $n]> for $name {
+            fn from(lanes: [$elem; $n]) -> Self {
+                $name(lanes)
+            }
+        }
+
+        impl From<$name> for [$elem; $n] {
+            fn from(v: $name) -> Self {
+                v.0
+            }
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Q (128-bit) types — the XMM / NEON quad-word register view.
+// ---------------------------------------------------------------------------
+
+define_lane_type!(
+    /// Four packed `f32` lanes (`__m128` / `float32x4_t`).
+    F32x4, f32, 4, 16
+);
+define_lane_type!(
+    /// Two packed `f64` lanes (`__m128d`).
+    F64x2, f64, 2, 16
+);
+define_lane_type!(
+    /// Sixteen packed `i8` lanes (`__m128i` / `int8x16_t`).
+    I8x16, i8, 16, 16
+);
+define_lane_type!(
+    /// Sixteen packed `u8` lanes (`__m128i` / `uint8x16_t`).
+    U8x16, u8, 16, 16
+);
+define_lane_type!(
+    /// Eight packed `i16` lanes (`__m128i` / `int16x8_t`).
+    I16x8, i16, 8, 16
+);
+define_lane_type!(
+    /// Eight packed `u16` lanes (`__m128i` / `uint16x8_t`).
+    U16x8, u16, 8, 16
+);
+define_lane_type!(
+    /// Four packed `i32` lanes (`__m128i` / `int32x4_t`).
+    I32x4, i32, 4, 16
+);
+define_lane_type!(
+    /// Four packed `u32` lanes (`__m128i` / `uint32x4_t`).
+    U32x4, u32, 4, 16
+);
+define_lane_type!(
+    /// Two packed `i64` lanes (`__m128i` / `int64x2_t`).
+    I64x2, i64, 2, 16
+);
+define_lane_type!(
+    /// Two packed `u64` lanes (`__m128i` / `uint64x2_t`).
+    U64x2, u64, 2, 16
+);
+
+// ---------------------------------------------------------------------------
+// D (64-bit) types — the NEON double-word register view (and MMX).
+// ---------------------------------------------------------------------------
+
+define_lane_type!(
+    /// Two packed `f32` lanes (`float32x2_t`).
+    F32x2, f32, 2, 8
+);
+define_lane_type!(
+    /// Eight packed `i8` lanes (`int8x8_t`).
+    I8x8, i8, 8, 8
+);
+define_lane_type!(
+    /// Eight packed `u8` lanes (`uint8x8_t`).
+    U8x8, u8, 8, 8
+);
+define_lane_type!(
+    /// Four packed `i16` lanes (`int16x4_t`).
+    I16x4, i16, 4, 8
+);
+define_lane_type!(
+    /// Four packed `u16` lanes (`uint16x4_t`).
+    U16x4, u16, 4, 8
+);
+define_lane_type!(
+    /// Two packed `i32` lanes (`int32x2_t`).
+    I32x2, i32, 2, 8
+);
+define_lane_type!(
+    /// Two packed `u32` lanes (`uint32x2_t`).
+    U32x2, u32, 2, 8
+);
+define_lane_type!(
+    /// One `i64` lane (`int64x1_t`).
+    I64x1, i64, 1, 8
+);
+define_lane_type!(
+    /// One `u64` lane (`uint64x1_t`).
+    U64x1, u64, 1, 8
+);
+
+/// Splits a Q vector of 8 `i16` lanes into low/high D halves.
+impl I16x8 {
+    /// Low four lanes as a D register.
+    #[inline]
+    pub fn low(self) -> I16x4 {
+        I16x4([self.0[0], self.0[1], self.0[2], self.0[3]])
+    }
+
+    /// High four lanes as a D register.
+    #[inline]
+    pub fn high(self) -> I16x4 {
+        I16x4([self.0[4], self.0[5], self.0[6], self.0[7]])
+    }
+
+    /// Combines two D halves into a Q register (`vcombine_s16`).
+    #[inline]
+    pub fn combine(low: I16x4, high: I16x4) -> Self {
+        I16x8([
+            low.0[0], low.0[1], low.0[2], low.0[3], high.0[0], high.0[1], high.0[2], high.0[3],
+        ])
+    }
+}
+
+impl U16x8 {
+    /// Low four lanes as a D register.
+    #[inline]
+    pub fn low(self) -> U16x4 {
+        U16x4([self.0[0], self.0[1], self.0[2], self.0[3]])
+    }
+
+    /// High four lanes as a D register.
+    #[inline]
+    pub fn high(self) -> U16x4 {
+        U16x4([self.0[4], self.0[5], self.0[6], self.0[7]])
+    }
+
+    /// Combines two D halves into a Q register (`vcombine_u16`).
+    #[inline]
+    pub fn combine(low: U16x4, high: U16x4) -> Self {
+        U16x8([
+            low.0[0], low.0[1], low.0[2], low.0[3], high.0[0], high.0[1], high.0[2], high.0[3],
+        ])
+    }
+}
+
+impl U8x16 {
+    /// Low eight lanes as a D register.
+    #[inline]
+    pub fn low(self) -> U8x8 {
+        let mut out = [0u8; 8];
+        out.copy_from_slice(&self.0[..8]);
+        U8x8(out)
+    }
+
+    /// High eight lanes as a D register.
+    #[inline]
+    pub fn high(self) -> U8x8 {
+        let mut out = [0u8; 8];
+        out.copy_from_slice(&self.0[8..]);
+        U8x8(out)
+    }
+
+    /// Combines two D halves into a Q register (`vcombine_u8`).
+    #[inline]
+    pub fn combine(low: U8x8, high: U8x8) -> Self {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&low.0);
+        out[8..].copy_from_slice(&high.0);
+        U8x16(out)
+    }
+}
+
+impl I8x16 {
+    /// Low eight lanes as a D register.
+    #[inline]
+    pub fn low(self) -> I8x8 {
+        let mut out = [0i8; 8];
+        out.copy_from_slice(&self.0[..8]);
+        I8x8(out)
+    }
+
+    /// High eight lanes as a D register.
+    #[inline]
+    pub fn high(self) -> I8x8 {
+        let mut out = [0i8; 8];
+        out.copy_from_slice(&self.0[8..]);
+        I8x8(out)
+    }
+
+    /// Combines two D halves into a Q register (`vcombine_s8`).
+    #[inline]
+    pub fn combine(low: I8x8, high: I8x8) -> Self {
+        let mut out = [0i8; 16];
+        out[..8].copy_from_slice(&low.0);
+        out[8..].copy_from_slice(&high.0);
+        I8x16(out)
+    }
+}
+
+impl I32x4 {
+    /// Low two lanes as a D register.
+    #[inline]
+    pub fn low(self) -> I32x2 {
+        I32x2([self.0[0], self.0[1]])
+    }
+
+    /// High two lanes as a D register.
+    #[inline]
+    pub fn high(self) -> I32x2 {
+        I32x2([self.0[2], self.0[3]])
+    }
+
+    /// Combines two D halves into a Q register (`vcombine_s32`).
+    #[inline]
+    pub fn combine(low: I32x2, high: I32x2) -> Self {
+        I32x4([low.0[0], low.0[1], high.0[0], high.0[1]])
+    }
+}
+
+impl U32x4 {
+    /// Low two lanes as a D register.
+    #[inline]
+    pub fn low(self) -> U32x2 {
+        U32x2([self.0[0], self.0[1]])
+    }
+
+    /// High two lanes as a D register.
+    #[inline]
+    pub fn high(self) -> U32x2 {
+        U32x2([self.0[2], self.0[3]])
+    }
+
+    /// Combines two D halves into a Q register (`vcombine_u32`).
+    #[inline]
+    pub fn combine(low: U32x2, high: U32x2) -> Self {
+        U32x4([low.0[0], low.0[1], high.0[0], high.0[1]])
+    }
+}
+
+impl F32x4 {
+    /// Low two lanes as a D register.
+    #[inline]
+    pub fn low(self) -> F32x2 {
+        F32x2([self.0[0], self.0[1]])
+    }
+
+    /// High two lanes as a D register.
+    #[inline]
+    pub fn high(self) -> F32x2 {
+        F32x2([self.0[2], self.0[3]])
+    }
+
+    /// Combines two D halves into a Q register (`vcombine_f32`).
+    #[inline]
+    pub fn combine(low: F32x2, high: F32x2) -> Self {
+        F32x4([low.0[0], low.0[1], high.0[0], high.0[1]])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_access() {
+        let v = I32x4::new([1, 2, 3, 4]);
+        assert_eq!(v.lane(0), 1);
+        assert_eq!(v.lane(3), 4);
+        assert_eq!(v.to_array(), [1, 2, 3, 4]);
+        let w = v.with_lane(2, 99);
+        assert_eq!(w.to_array(), [1, 2, 99, 4]);
+        assert_eq!(v.to_array(), [1, 2, 3, 4]); // original untouched
+    }
+
+    #[test]
+    fn splat_fills_all_lanes() {
+        assert_eq!(U8x16::splat(7).to_array(), [7u8; 16]);
+        assert_eq!(F32x4::splat(1.5).to_array(), [1.5f32; 4]);
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let src: Vec<i16> = (0..12).collect();
+        let v = I16x8::load(&src[2..]);
+        assert_eq!(v.to_array(), [2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut dst = [0i16; 10];
+        v.store(&mut dst[1..]);
+        assert_eq!(&dst[1..9], &[2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(dst[0], 0);
+        assert_eq!(dst[9], 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn load_panics_on_short_slice() {
+        let src = [0f32; 3];
+        let _ = F32x4::load(&src);
+    }
+
+    #[test]
+    fn map_zip_fold() {
+        let a = I32x4::new([1, 2, 3, 4]);
+        let b = I32x4::new([10, 20, 30, 40]);
+        assert_eq!(a.map(|x| x * 2).to_array(), [2, 4, 6, 8]);
+        assert_eq!(a.zip(b, |x, y| x + y).to_array(), [11, 22, 33, 44]);
+        assert_eq!(a.fold(0, |acc, x| acc + x), 10);
+    }
+
+    #[test]
+    fn low_high_combine_roundtrip_i16() {
+        let v = I16x8::new([1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(v.low().to_array(), [1, 2, 3, 4]);
+        assert_eq!(v.high().to_array(), [5, 6, 7, 8]);
+        assert_eq!(I16x8::combine(v.low(), v.high()), v);
+    }
+
+    #[test]
+    fn low_high_combine_roundtrip_u8() {
+        let v = U8x16::new([0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]);
+        assert_eq!(v.low().to_array(), [0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(v.high().to_array(), [8, 9, 10, 11, 12, 13, 14, 15]);
+        assert_eq!(U8x16::combine(v.low(), v.high()), v);
+    }
+
+    #[test]
+    fn low_high_combine_roundtrip_f32() {
+        let v = F32x4::new([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(F32x4::combine(v.low(), v.high()), v);
+    }
+
+    #[test]
+    fn debug_format_names_type() {
+        let v = I32x2::new([5, 6]);
+        assert_eq!(format!("{v:?}"), "I32x2([5, 6])");
+    }
+}

@@ -1,0 +1,75 @@
+//! Portable SIMD lane types.
+//!
+//! This crate provides plain-Rust implementations of the 128-bit ("Q", XMM)
+//! and 64-bit ("D", MMX) register contents that the paper's two instruction
+//! sets operate on. The `sse-sim` and `neon-sim` crates build the actual
+//! intrinsic surfaces (`_mm_*`, `v*q_*`) on top of these types; keeping the
+//! lane semantics in one place guarantees that the two ISAs agree wherever
+//! the architectures agree (e.g. `_mm_packs_epi32` ==
+//! `vcombine_s16(vqmovn_s32(lo), vqmovn_s32(hi))`).
+//!
+//! Everything here is deliberately boring, safe Rust: the point of the
+//! simulated lanes is bit-exact *semantics*, not speed. Speed comes from the
+//! native `core::arch` paths that the kernel crate selects at run time on
+//! hosts that have the real instructions.
+//!
+//! # Lane order
+//!
+//! Lane 0 is the lowest-addressed element in memory, matching both the SSE2
+//! little-endian convention and NEON's little-endian layout used on all the
+//! paper's platforms.
+
+#![warn(missing_docs)]
+// Lane-indexed `for i in 0..N` loops intentionally mirror the per-lane
+// pseudocode of the architecture reference manuals.
+#![allow(clippy::needless_range_loop)]
+// Lane methods deliberately mirror the intrinsic operations they model
+// (`add`, `shl`, `not`, ...) rather than implementing the operator traits:
+// the ISA surfaces call them by these names and the semantics (wrapping,
+// mask-producing) differ from the std operators.
+#![allow(clippy::should_implement_trait)]
+
+pub mod align;
+pub mod cast;
+pub mod float_ops;
+pub mod int_ops;
+pub mod lanes;
+pub mod rounding;
+
+pub use align::AlignedBuf;
+pub use lanes::{
+    F32x2, F32x4, F64x2, I16x4, I16x8, I32x2, I32x4, I64x1, I64x2, I8x16, I8x8, U16x4, U16x8,
+    U32x2, U32x4, U64x1, U64x2, U8x16, U8x8,
+};
+
+/// Width in bytes of a Q (quad-word, 128-bit) register.
+pub const Q_BYTES: usize = 16;
+/// Width in bytes of a D (double-word, 64-bit) register.
+pub const D_BYTES: usize = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_and_d_sizes() {
+        assert_eq!(std::mem::size_of::<F32x4>(), Q_BYTES);
+        assert_eq!(std::mem::size_of::<U8x16>(), Q_BYTES);
+        assert_eq!(std::mem::size_of::<I64x2>(), Q_BYTES);
+        assert_eq!(std::mem::size_of::<F32x2>(), D_BYTES);
+        assert_eq!(std::mem::size_of::<I16x4>(), D_BYTES);
+        assert_eq!(std::mem::size_of::<U8x8>(), D_BYTES);
+    }
+
+    #[test]
+    fn q_alignment_is_16() {
+        assert_eq!(std::mem::align_of::<F32x4>(), 16);
+        assert_eq!(std::mem::align_of::<I32x4>(), 16);
+    }
+
+    #[test]
+    fn d_alignment_is_8() {
+        assert_eq!(std::mem::align_of::<I16x4>(), 8);
+        assert_eq!(std::mem::align_of::<F32x2>(), 8);
+    }
+}

@@ -1,0 +1,204 @@
+//! Scalar float→int conversion helpers with per-ISA out-of-range semantics.
+//!
+//! The two architectures disagree about what happens when a float does not
+//! fit in an `i32`:
+//!
+//! * **SSE** (`cvtps2dq`, `cvttps2dq`, `cvtsd2si`): out-of-range and NaN
+//!   inputs produce the "integer indefinite" value `0x8000_0000`
+//!   (`i32::MIN`).
+//! * **NEON** (`vcvt`, ARMv8 `fcvtns`): out-of-range inputs saturate to
+//!   `i32::MAX`/`i32::MIN`; NaN produces 0.
+//!
+//! The rounding mode also matters: `cvtps2dq` uses the MXCSR default of
+//! round-to-nearest-even, while ARMv7 `vcvt.s32.f32` truncates toward zero
+//! (ARMv8 adds the rounding variants). OpenCV's `cvRound` is implemented
+//! with `_mm_cvtsd_si32` on SSE2 builds, i.e. ties-to-even, which is why the
+//! kernels in this reproduction standardise on ties-to-even.
+
+/// Largest `f32` exactly representable below `i32::MAX` boundary checks.
+const I32_MAX_F: f32 = 2147483647.0; // rounds to 2^31 in f32
+const I32_MIN_F: f32 = -2147483648.0;
+
+/// Round `v` to the nearest integer, ties to even, as an `f32`.
+#[inline]
+pub fn round_ties_even_f32(v: f32) -> f32 {
+    v.round_ties_even()
+}
+
+/// `cvRound` semantics used throughout the kernels: nearest, ties to even,
+/// saturating to the `i32` range, NaN → 0.
+#[inline]
+pub fn cv_round(v: f32) -> i32 {
+    f32_to_i32_round_saturate(v)
+}
+
+/// `cvRound` for `f64` (the paper's listing routes scalars through
+/// `_mm_set_sd`/`_mm_cvtsd_si32`, i.e. double precision, ties to even).
+#[inline]
+pub fn cv_round_f64(v: f64) -> i32 {
+    if v.is_nan() {
+        return 0;
+    }
+    let r = v.round_ties_even();
+    if r >= i32::MAX as f64 {
+        i32::MAX
+    } else if r <= i32::MIN as f64 {
+        i32::MIN
+    } else {
+        r as i32
+    }
+}
+
+/// Truncating conversion with NEON saturation semantics.
+#[inline]
+pub fn f32_to_i32_truncate_saturate(v: f32) -> i32 {
+    if v.is_nan() {
+        return 0;
+    }
+    if v >= I32_MAX_F {
+        i32::MAX
+    } else if v <= I32_MIN_F {
+        i32::MIN
+    } else {
+        v as i32
+    }
+}
+
+/// Truncating conversion with SSE "integer indefinite" semantics.
+#[inline]
+pub fn f32_to_i32_truncate_sse(v: f32) -> i32 {
+    if v.is_nan() || !(I32_MIN_F..I32_MAX_F).contains(&v) {
+        i32::MIN
+    } else {
+        v as i32
+    }
+}
+
+/// Nearest-even conversion with NEON saturation semantics.
+#[inline]
+pub fn f32_to_i32_round_saturate(v: f32) -> i32 {
+    if v.is_nan() {
+        return 0;
+    }
+    let r = v.round_ties_even();
+    if r >= I32_MAX_F {
+        i32::MAX
+    } else if r <= I32_MIN_F {
+        i32::MIN
+    } else {
+        r as i32
+    }
+}
+
+/// Nearest-even conversion with SSE "integer indefinite" semantics.
+#[inline]
+pub fn f32_to_i32_round_sse(v: f32) -> i32 {
+    if v.is_nan() {
+        return i32::MIN;
+    }
+    let r = v.round_ties_even();
+    if (I32_MIN_F..I32_MAX_F).contains(&r) {
+        r as i32
+    } else {
+        i32::MIN
+    }
+}
+
+/// Saturating cast `i32 -> i16` (the OpenCV `saturate_cast<short>(int)`).
+#[inline]
+pub fn saturate_i32_to_i16(v: i32) -> i16 {
+    v.clamp(i16::MIN as i32, i16::MAX as i32) as i16
+}
+
+/// Saturating cast `i32 -> u8` (the OpenCV `saturate_cast<uchar>(int)`).
+#[inline]
+pub fn saturate_i32_to_u8(v: i32) -> u8 {
+    v.clamp(0, u8::MAX as i32) as u8
+}
+
+/// Saturating cast `i16 -> u8`.
+#[inline]
+pub fn saturate_i16_to_u8(v: i16) -> u8 {
+    v.clamp(0, u8::MAX as i16) as u8
+}
+
+/// Saturating cast `f32 -> i16` via `cvRound` (the benchmark-1 operation).
+#[inline]
+pub fn saturate_f32_to_i16(v: f32) -> i16 {
+    saturate_i32_to_i16(cv_round(v))
+}
+
+/// Saturating cast `f32 -> u8` via `cvRound`.
+#[inline]
+pub fn saturate_f32_to_u8(v: f32) -> u8 {
+    saturate_i32_to_u8(cv_round(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ties_to_even() {
+        assert_eq!(cv_round(0.5), 0);
+        assert_eq!(cv_round(1.5), 2);
+        assert_eq!(cv_round(2.5), 2);
+        assert_eq!(cv_round(-0.5), 0);
+        assert_eq!(cv_round(-1.5), -2);
+        assert_eq!(cv_round(-2.5), -2);
+    }
+
+    #[test]
+    fn nan_conventions_differ() {
+        assert_eq!(f32_to_i32_round_saturate(f32::NAN), 0);
+        assert_eq!(f32_to_i32_round_sse(f32::NAN), i32::MIN);
+        assert_eq!(f32_to_i32_truncate_saturate(f32::NAN), 0);
+        assert_eq!(f32_to_i32_truncate_sse(f32::NAN), i32::MIN);
+    }
+
+    #[test]
+    fn overflow_conventions_differ() {
+        assert_eq!(f32_to_i32_round_saturate(1e20), i32::MAX);
+        assert_eq!(f32_to_i32_round_saturate(-1e20), i32::MIN);
+        assert_eq!(f32_to_i32_round_sse(1e20), i32::MIN);
+        assert_eq!(f32_to_i32_round_sse(-1e20), i32::MIN);
+        assert_eq!(f32_to_i32_truncate_saturate(f32::INFINITY), i32::MAX);
+        assert_eq!(f32_to_i32_truncate_sse(f32::INFINITY), i32::MIN);
+        assert_eq!(f32_to_i32_truncate_saturate(f32::NEG_INFINITY), i32::MIN);
+    }
+
+    #[test]
+    fn in_range_values_agree_across_conventions() {
+        for v in [-1000.25f32, -1.75, 0.0, 0.25, 1.0, 12345.5, 2e6] {
+            assert_eq!(f32_to_i32_round_saturate(v), f32_to_i32_round_sse(v));
+            assert_eq!(f32_to_i32_truncate_saturate(v), f32_to_i32_truncate_sse(v));
+        }
+    }
+
+    #[test]
+    fn saturating_casts() {
+        assert_eq!(saturate_i32_to_i16(40000), i16::MAX);
+        assert_eq!(saturate_i32_to_i16(-40000), i16::MIN);
+        assert_eq!(saturate_i32_to_i16(123), 123);
+        assert_eq!(saturate_i32_to_u8(-1), 0);
+        assert_eq!(saturate_i32_to_u8(300), 255);
+        assert_eq!(saturate_i16_to_u8(-7), 0);
+        assert_eq!(saturate_i16_to_u8(270), 255);
+        assert_eq!(saturate_f32_to_i16(1e9), i16::MAX);
+        assert_eq!(saturate_f32_to_i16(-1e9), i16::MIN);
+        assert_eq!(saturate_f32_to_i16(42.4), 42);
+        assert_eq!(saturate_f32_to_u8(-3.3), 0);
+        assert_eq!(saturate_f32_to_u8(254.5), 254); // ties to even
+        assert_eq!(saturate_f32_to_u8(255.5), 255);
+    }
+
+    #[test]
+    fn cv_round_f64_matches_f32_for_exact_values() {
+        for v in [-2.5f32, -0.5, 0.5, 1.5, 1e6] {
+            assert_eq!(cv_round(v), cv_round_f64(v as f64));
+        }
+        assert_eq!(cv_round_f64(f64::NAN), 0);
+        assert_eq!(cv_round_f64(1e20), i32::MAX);
+        assert_eq!(cv_round_f64(-1e20), i32::MIN);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests on the portable lane types: the algebraic invariants the
+//! ISA surfaces (and everything above them) rely on.
+
+#![allow(clippy::needless_range_loop)]
+
+use proptest::prelude::*;
+use simd_vector::cast::{reinterpret128, reinterpret64};
+use simd_vector::rounding;
+use simd_vector::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    // --- saturating arithmetic matches widened-and-clamped reference -----
+
+    #[test]
+    fn saturating_add_i16_matches_wide_clamp(a in any::<[i16; 8]>(), b in any::<[i16; 8]>()) {
+        let got = I16x8::new(a).saturating_add(I16x8::new(b));
+        for i in 0..8 {
+            let wide = a[i] as i32 + b[i] as i32;
+            prop_assert_eq!(got.lane(i) as i32, wide.clamp(i16::MIN as i32, i16::MAX as i32));
+        }
+    }
+
+    #[test]
+    fn saturating_sub_u8_matches_wide_clamp(a in any::<[u8; 16]>(), b in any::<[u8; 16]>()) {
+        let got = U8x16::new(a).saturating_sub(U8x16::new(b));
+        for i in 0..16 {
+            let wide = a[i] as i32 - b[i] as i32;
+            prop_assert_eq!(got.lane(i) as i32, wide.max(0));
+        }
+    }
+
+    #[test]
+    fn narrow_saturate_matches_per_lane_clamp(lo in any::<[i32; 4]>(), hi in any::<[i32; 4]>()) {
+        let packed = I32x4::narrow_saturate_i16(I32x4::new(lo), I32x4::new(hi));
+        for i in 0..4 {
+            prop_assert_eq!(
+                packed.lane(i) as i32,
+                lo[i].clamp(i16::MIN as i32, i16::MAX as i32)
+            );
+            prop_assert_eq!(
+                packed.lane(4 + i) as i32,
+                hi[i].clamp(i16::MIN as i32, i16::MAX as i32)
+            );
+        }
+    }
+
+    // --- compare masks are total and complementary ------------------------
+
+    #[test]
+    fn gt_and_le_masks_partition(a in any::<[u8; 16]>(), b in any::<[u8; 16]>()) {
+        let gt = U8x16::new(a).cmp_gt(U8x16::new(b));
+        let le = U8x16::new(a).cmp_le(U8x16::new(b));
+        for i in 0..16 {
+            prop_assert_eq!(gt.lane(i) ^ le.lane(i), 0xFF);
+            prop_assert!(gt.lane(i) == 0 || gt.lane(i) == 0xFF);
+        }
+    }
+
+    #[test]
+    fn bitselect_with_full_or_empty_mask_is_projection(
+        a in any::<[u8; 16]>(), b in any::<[u8; 16]>()
+    ) {
+        let ones = U8x16::splat(0xFF);
+        let zeros = U8x16::splat(0);
+        prop_assert_eq!(ones.bitselect(a.into(), b.into()), U8x16::new(a));
+        prop_assert_eq!(zeros.bitselect(a.into(), b.into()), U8x16::new(b));
+    }
+
+    // --- widen/narrow round trips ------------------------------------------
+
+    #[test]
+    fn widen_then_truncate_is_identity(a in any::<[u8; 8]>()) {
+        let v = U8x8::new(a);
+        prop_assert_eq!(v.widen_u16().narrow_truncate_u8(), v);
+    }
+
+    #[test]
+    fn combine_splits_back(lo in any::<[i16; 4]>(), hi in any::<[i16; 4]>()) {
+        let q = I16x8::combine(I16x4::new(lo), I16x4::new(hi));
+        prop_assert_eq!(q.low(), I16x4::new(lo));
+        prop_assert_eq!(q.high(), I16x4::new(hi));
+    }
+
+    // --- reinterpret casts are lossless bijections -------------------------
+
+    #[test]
+    fn reinterpret128_roundtrip(bytes in any::<[u8; 16]>()) {
+        let v = U8x16::new(bytes);
+        let as_f: F32x4 = reinterpret128(v);
+        let back: U8x16 = reinterpret128(as_f);
+        prop_assert_eq!(back, v);
+        let as_i64: I64x2 = reinterpret128(v);
+        let back2: U8x16 = reinterpret128(as_i64);
+        prop_assert_eq!(back2, v);
+    }
+
+    #[test]
+    fn reinterpret64_roundtrip(bytes in any::<[u8; 8]>()) {
+        let v = U8x8::new(bytes);
+        let as_u16: U16x4 = reinterpret64(v);
+        let back: U8x8 = reinterpret64(as_u16);
+        prop_assert_eq!(back, v);
+    }
+
+    // --- rounding helpers ----------------------------------------------------
+
+    #[test]
+    fn cv_round_is_nearest_even(v in -1.0e6f32..1.0e6) {
+        let r = rounding::cv_round(v);
+        // Nearest: within 0.5 of the input.
+        prop_assert!((r as f64 - v as f64).abs() <= 0.5 + 1e-6);
+        // Ties to even: exact .5 values round to the even neighbour.
+        let frac = v.fract().abs();
+        if (frac - 0.5).abs() < f32::EPSILON {
+            prop_assert_eq!(r % 2, 0, "tie {} rounded to odd {}", v, r);
+        }
+    }
+
+    #[test]
+    fn shl_shr_logical_roundtrip_high_bits(v in any::<[u16; 8]>(), n in 0u32..16) {
+        let x = U16x8::new(v);
+        let masked = x.shl(n).shr_logical(n);
+        for i in 0..8 {
+            let keep = if n == 0 { u16::MAX } else { u16::MAX >> n };
+            prop_assert_eq!(masked.lane(i), v[i] & keep);
+        }
+    }
+
+    #[test]
+    fn avg_round_is_commutative_and_bounded(a in any::<[u8; 16]>(), b in any::<[u8; 16]>()) {
+        let ab = U8x16::new(a).avg_round(U8x16::new(b));
+        let ba = U8x16::new(b).avg_round(U8x16::new(a));
+        prop_assert_eq!(ab, ba);
+        for i in 0..16 {
+            prop_assert!(ab.lane(i) >= a[i].min(b[i]));
+            prop_assert!(ab.lane(i) <= a[i].max(b[i]));
+        }
+    }
+
+    #[test]
+    fn abs_diff_is_symmetric_metric(a in any::<[u8; 16]>(), b in any::<[u8; 16]>()) {
+        let d1 = U8x16::new(a).abs_diff(U8x16::new(b));
+        let d2 = U8x16::new(b).abs_diff(U8x16::new(a));
+        prop_assert_eq!(d1, d2);
+        let zero = U8x16::new(a).abs_diff(U8x16::new(a));
+        prop_assert_eq!(zero, U8x16::splat(0));
+    }
+
+    #[test]
+    fn madd_matches_scalar_dot_pairs(a in any::<[i16; 8]>(), b in any::<[i16; 8]>()) {
+        let got = I16x8::new(a).madd(I16x8::new(b));
+        for i in 0..4 {
+            let expect = (a[2 * i] as i32 * b[2 * i] as i32)
+                .wrapping_add(a[2 * i + 1] as i32 * b[2 * i + 1] as i32);
+            prop_assert_eq!(got.lane(i), expect);
+        }
+    }
+
+    // --- aligned buffers -------------------------------------------------------
+
+    #[test]
+    fn aligned_buf_is_aligned_for_any_length(len in 0usize..500) {
+        let buf = AlignedBuf::<u8>::zeroed(len);
+        prop_assert_eq!(buf.len(), len);
+        if len > 0 {
+            prop_assert_eq!(buf.as_slice().as_ptr() as usize % 16, 0);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Cross-platform comparison on the simulated Table I hardware: regenerates
+//! the paper's headline claims from the platform model and prints the
+//! supporting evidence for each.
+//!
+//! Run: `cargo run --release --example platform_compare`
+
+use simd_repro::image::Resolution;
+use simd_repro::platform::{
+    all_platforms, platform_by_name, predict_seconds, speedup, Kernel, Strategy,
+};
+
+fn main() {
+    println!("Simulated Table I platforms — the paper's headline claims\n");
+
+    // Claim 1: hand-tuned NEON is 1.05-13.05x faster than auto-vectorized
+    // code on ARM; SSE is 1.34-5.54x faster on Intel.
+    let mut arm = (f64::INFINITY, 0.0f64);
+    let mut intel = (f64::INFINITY, 0.0f64);
+    for p in all_platforms() {
+        for kernel in Kernel::ALL {
+            for res in Resolution::ALL {
+                let s = speedup(&p, kernel, res);
+                let slot = if p.is_arm() { &mut arm } else { &mut intel };
+                slot.0 = slot.0.min(s);
+                slot.1 = slot.1.max(s);
+            }
+        }
+    }
+    println!("HAND:AUTO speed-up ranges");
+    println!("  ARM   (paper: 1.05 - 13.05): {:.2} - {:.2}", arm.0, arm.1);
+    println!("  Intel (paper: 1.34 -  5.54): {:.2} - {:.2}", intel.0, intel.1);
+
+    // Claim 2: the ODROID-X more than doubles the Tegra T30's NEON benefit
+    // at the same 1.3 GHz clock.
+    let odroid = platform_by_name("ODROID-X").unwrap();
+    let tegra = platform_by_name("Tegra-T30").unwrap();
+    let so = speedup(&odroid, Kernel::Convert, Resolution::Mp8);
+    let st = speedup(&tegra, Kernel::Convert, Resolution::Mp8);
+    println!("\nODROID-X vs Tegra T30 (convert, both 1.3 GHz)");
+    println!("  speed-ups: {so:.2}x vs {st:.2}x (ratio {:.2}, paper: >2)", so / st);
+
+    // Claim 3: the in-order Atom is about 10x slower than the OoO i7.
+    let atom = platform_by_name("Atom-D510").unwrap();
+    let i7 = platform_by_name("i7-2820QM").unwrap();
+    println!("\nAtom D510 vs Core i7 (AUTO, 8 Mpx) — in-order vs out-of-order");
+    for kernel in Kernel::ALL {
+        let a = predict_seconds(&atom, kernel, Strategy::Auto, Resolution::Mp8);
+        let b = predict_seconds(&i7, kernel, Strategy::Auto, Resolution::Mp8);
+        println!("  {:<9} {:.1}x slower", kernel.table3_label(), a / b);
+    }
+
+    // Claim 4: the fastest ARM part (Exynos 4412) trails the i5 by 8-15x.
+    let exynos = platform_by_name("Exynos-4412").unwrap();
+    let i5 = platform_by_name("i5-3360M").unwrap();
+    println!("\nExynos 4412 vs Core i5 (HAND, 8 Mpx)");
+    for kernel in Kernel::ALL {
+        let a = predict_seconds(&exynos, kernel, Strategy::Hand, Resolution::Mp8);
+        let b = predict_seconds(&i5, kernel, Strategy::Hand, Resolution::Mp8);
+        println!("  {:<9} {:.1}x slower", kernel.table3_label(), a / b);
+    }
+
+    // Full speed-up matrix at 8 Mpx.
+    println!("\nfull speed-up matrix (8 Mpx)");
+    print!("{:<14}", "platform");
+    for kernel in Kernel::ALL {
+        print!("{:>9}", kernel.table3_label());
+    }
+    println!();
+    for p in all_platforms() {
+        print!("{:<14}", p.short);
+        for kernel in Kernel::ALL {
+            print!("{:>8.2}x", speedup(&p, kernel, Resolution::Mp8));
+        }
+        println!();
+    }
+}

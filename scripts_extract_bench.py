@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Summarises a criterion bench_output.txt into group/median tables."""
+import re, sys, collections
+
+def parse(path):
+    results = []
+    name = None
+    for line in open(path):
+        m = re.match(r'^([a-z0-9_]+/[^\s]+)\s*$', line.strip())
+        if m and '/' in m.group(1):
+            name = m.group(1)
+        m = re.search(r'time:\s+\[[^ ]+ [^\s]+ ([0-9.]+) (ns|µs|ms|s)', line)
+        if m and name:
+            val, unit = float(m.group(1)), m.group(2)
+            mult = {'ns':1e-9,'µs':1e-6,'ms':1e-3,'s':1.0}[unit]
+            results.append((name, val*mult))
+            name = None
+    return results
+
+if __name__ == '__main__':
+    res = parse(sys.argv[1] if len(sys.argv)>1 else 'bench_output.txt')
+    groups = collections.defaultdict(list)
+    for name, sec in res:
+        groups[name.split('/')[0]].append((name, sec))
+    for g, items in groups.items():
+        print(f'== {g}')
+        for name, sec in items:
+            print(f'  {name:<55} {sec*1e3:10.3f} ms')

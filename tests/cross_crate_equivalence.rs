@@ -1,0 +1,154 @@
+//! Cross-crate equivalence: every kernel, every backend, bit-identical
+//! output on a spread of image shapes — the contract that makes the AUTO vs
+//! HAND timing comparison meaningful (the paper times *the same
+//! computation* two ways).
+
+use simd_repro::image::{bmp, synthetic_image, synthetic_image_f32};
+use simd_repro::kernels::parallel::*;
+use simd_repro::kernels::prelude::*;
+
+const SHAPES: &[(usize, usize)] = &[(1, 1), (7, 3), (16, 16), (33, 9), (640, 48), (129, 65)];
+
+fn hand_engines() -> [Engine; 3] {
+    [Engine::Sse2Sim, Engine::NeonSim, Engine::Native]
+}
+
+#[test]
+fn convert_equivalence_over_shapes() {
+    for &(w, h) in SHAPES {
+        let src = synthetic_image_f32(w, h, 0xC0FFEE).map(|v| (v - 128.0) * 300.0);
+        let mut reference = Image::new(w, h);
+        convert_f32_to_i16(&src, &mut reference, Engine::Scalar);
+        for engine in [Engine::Autovec, Engine::Sse2Sim, Engine::NeonSim, Engine::Native] {
+            let mut out = Image::new(w, h);
+            convert_f32_to_i16(&src, &mut out, engine);
+            assert!(out.pixels_eq(&reference), "{w}x{h} {engine:?}");
+        }
+    }
+}
+
+#[test]
+fn threshold_equivalence_over_shapes_and_types() {
+    for &(w, h) in SHAPES {
+        let src = synthetic_image(w, h, 99);
+        for ty in ThresholdType::ALL {
+            let mut reference = Image::new(w, h);
+            threshold_u8(&src, &mut reference, 101, 200, ty, Engine::Scalar);
+            for engine in hand_engines() {
+                let mut out = Image::new(w, h);
+                threshold_u8(&src, &mut out, 101, 200, ty, engine);
+                assert!(out.pixels_eq(&reference), "{w}x{h} {ty:?} {engine:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn gaussian_equivalence_over_shapes() {
+    for &(w, h) in SHAPES {
+        let src = synthetic_image(w, h, 3);
+        let mut reference = Image::new(w, h);
+        gaussian_blur(&src, &mut reference, Engine::Scalar);
+        for engine in hand_engines() {
+            let mut out = Image::new(w, h);
+            gaussian_blur(&src, &mut out, engine);
+            assert!(out.pixels_eq(&reference), "{w}x{h} {engine:?}");
+        }
+    }
+}
+
+#[test]
+fn sobel_and_edge_equivalence_over_shapes() {
+    for &(w, h) in SHAPES {
+        let src = synthetic_image(w, h, 5);
+        for dir in [SobelDirection::X, SobelDirection::Y] {
+            let mut reference = Image::new(w, h);
+            sobel(&src, &mut reference, dir, Engine::Scalar);
+            for engine in hand_engines() {
+                let mut out = Image::new(w, h);
+                sobel(&src, &mut out, dir, engine);
+                assert!(out.pixels_eq(&reference), "{w}x{h} {dir:?} {engine:?}");
+            }
+        }
+        let mut reference = Image::new(w, h);
+        edge_detect(&src, &mut reference, 80, Engine::Scalar);
+        for engine in hand_engines() {
+            let mut out = Image::new(w, h);
+            edge_detect(&src, &mut out, 80, engine);
+            assert!(out.pixels_eq(&reference), "edge {w}x{h} {engine:?}");
+        }
+    }
+}
+
+#[test]
+fn parallel_wrappers_match_sequential_at_odd_shapes() {
+    let (w, h) = (127, 43);
+    let gray = synthetic_image(w, h, 11);
+    let float = synthetic_image_f32(w, h, 11).map(|v| v * 120.0 - 9000.0);
+
+    let mut seq_i16 = Image::new(w, h);
+    let mut par_i16 = Image::new(w, h);
+    convert_f32_to_i16(&float, &mut seq_i16, Engine::Native);
+    par_convert_f32_to_i16(&float, &mut par_i16, Engine::Native);
+    assert!(par_i16.pixels_eq(&seq_i16));
+
+    let mut seq_u8 = Image::new(w, h);
+    let mut par_u8 = Image::new(w, h);
+    gaussian_blur(&gray, &mut seq_u8, Engine::Native);
+    par_gaussian_blur(&gray, &mut par_u8, Engine::Native);
+    assert!(par_u8.pixels_eq(&seq_u8));
+
+    edge_detect(&gray, &mut seq_u8, 90, Engine::Native);
+    par_edge_detect(&gray, &mut par_u8, 90, Engine::Native);
+    assert!(par_u8.pixels_eq(&seq_u8));
+}
+
+#[test]
+fn set_use_optimized_switches_like_opencv() {
+    use simd_repro::kernels::dispatch::default_engine;
+    let initial = use_optimized();
+    set_use_optimized(false);
+    assert_eq!(default_engine(), Engine::Scalar);
+    set_use_optimized(true);
+    assert!(default_engine().is_hand() || default_engine() == Engine::Autovec);
+    set_use_optimized(initial);
+}
+
+#[test]
+fn full_pipeline_through_bmp_roundtrip() {
+    // Image file -> decode -> process -> encode -> decode: the downstream
+    // user path the library advertises.
+    let photo = synthetic_image(160, 120, 77);
+    let encoded = bmp::encode_gray(&photo);
+    let decoded = match bmp::decode(&encoded).unwrap() {
+        bmp::Decoded::Gray(img) => img,
+        _ => panic!("expected gray"),
+    };
+    assert!(decoded.pixels_eq(&photo));
+
+    let mut edges = Image::new(160, 120);
+    edge_detect(&decoded, &mut edges, 96, Engine::Native);
+    let edge_bmp = bmp::encode_gray(&edges);
+    match bmp::decode(&edge_bmp).unwrap() {
+        bmp::Decoded::Gray(round) => assert!(round.pixels_eq(&edges)),
+        _ => panic!("expected gray"),
+    }
+}
+
+#[test]
+fn simulated_and_native_engines_agree_on_saturation_torture() {
+    // Values engineered to hit every saturation branch of benchmark 1.
+    let torture: Vec<f32> = vec![
+        32766.4, 32766.6, 32767.5, 32768.5, -32767.4, -32768.6, -32769.5, 0.5, -0.5, 1.5,
+        2.5, -1.5, -2.5, 65536.0, -65536.0, 1e9, -1e9, 1e-9, -1e-9, 0.0,
+    ];
+    let w = torture.len();
+    let src = Image::from_fn(w, 1, |x, _| torture[x]);
+    let mut expected = Image::new(w, 1);
+    convert_f32_to_i16(&src, &mut expected, Engine::Scalar);
+    for engine in hand_engines() {
+        let mut out = Image::new(w, 1);
+        convert_f32_to_i16(&src, &mut out, engine);
+        assert!(out.pixels_eq(&expected), "{engine:?}");
+    }
+}

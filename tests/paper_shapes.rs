@@ -1,0 +1,206 @@
+//! Shape assertions against the paper's reported results. Absolute seconds
+//! are model estimates; these tests pin the *relations* the paper claims:
+//! who wins, by roughly what factor, and where the outliers sit.
+
+use simd_repro::image::Resolution;
+use simd_repro::platform::{
+    all_platforms, platform_by_name, predict_seconds, speedup, Kernel, Strategy,
+};
+
+fn p(name: &str) -> simd_repro::platform::PlatformSpec {
+    platform_by_name(name).unwrap()
+}
+
+/// Abstract: "On the ARM platforms the hand-tuned NEON benchmarks were
+/// between 1.05 and 13.05 faster than the auto-vectorized code."
+#[test]
+fn arm_speedup_band_matches_abstract() {
+    let mut min = f64::INFINITY;
+    let mut max = 0.0f64;
+    for platform in all_platforms().iter().filter(|p| p.is_arm()) {
+        for kernel in Kernel::ALL {
+            for res in Resolution::ALL {
+                let s = speedup(platform, kernel, res);
+                min = min.min(s);
+                max = max.max(s);
+            }
+        }
+    }
+    assert!((0.95..=1.5).contains(&min), "ARM min speed-up {min} (paper 1.05)");
+    assert!((10.0..=16.0).contains(&max), "ARM max speed-up {max} (paper 13.05)");
+}
+
+/// Abstract: "for the Intel platforms the hand-tuned SSE benchmarks were
+/// between 1.34 and 5.54 faster."
+#[test]
+fn intel_speedup_band_matches_abstract() {
+    let mut min = f64::INFINITY;
+    let mut max = 0.0f64;
+    for platform in all_platforms().iter().filter(|p| !p.is_arm()) {
+        for kernel in Kernel::ALL {
+            for res in Resolution::ALL {
+                let s = speedup(platform, kernel, res);
+                min = min.min(s);
+                max = max.max(s);
+            }
+        }
+    }
+    assert!((0.95..=1.7).contains(&min), "Intel min speed-up {min} (paper 1.34)");
+    assert!((4.2..=6.5).contains(&max), "Intel max speed-up {max} (paper 5.54)");
+}
+
+/// Section IV-A: "the speed-up obtained with HAND varies from 5.27 for the
+/// Atom to just 1.34 for the Core 2 Quad" — ordering within Intel for the
+/// conversion benchmark.
+#[test]
+fn convert_intel_ordering_atom_max_core2_min() {
+    let intel: Vec<_> = all_platforms().into_iter().filter(|p| !p.is_arm()).collect();
+    let speedups: Vec<(String, f64)> = intel
+        .iter()
+        .map(|pl| (pl.short.to_string(), speedup(pl, Kernel::Convert, Resolution::Vga)))
+        .collect();
+    let atom = speedups.iter().find(|(n, _)| n == "Atom-D510").unwrap().1;
+    let c2q = speedups.iter().find(|(n, _)| n == "Core2-Q9400").unwrap().1;
+    for (name, s) in &speedups {
+        assert!(*s <= atom + 1e-9, "{name} {s} exceeds Atom {atom}");
+        assert!(*s >= c2q - 1e-9, "{name} {s} below Core2 {c2q}");
+    }
+    assert!((4.0..=6.0).contains(&atom), "Atom convert {atom} (paper 5.27)");
+    assert!((1.1..=1.8).contains(&c2q), "Core2 convert {c2q} (paper 1.34)");
+}
+
+/// Section IV-A: the Exynos 3110's conversion speed-up reaches ~13, the
+/// Tegra T30's only ~3.4.
+#[test]
+fn convert_arm_extremes() {
+    let exynos = speedup(&p("Exynos-3110"), Kernel::Convert, Resolution::Mp8);
+    let tegra = speedup(&p("Tegra-T30"), Kernel::Convert, Resolution::Mp8);
+    assert!((11.0..=15.5).contains(&exynos), "Exynos 3110: {exynos} (paper 13.05)");
+    assert!((3.0..=5.0).contains(&tegra), "Tegra: {tegra} (paper 3.42)");
+}
+
+/// Section IV-A: "The ODROID shows more than twice as much benefit from
+/// using NEON compared to the Tegra T30", at the same 1.3 GHz clock.
+#[test]
+fn odroid_beats_tegra_by_over_2x() {
+    let odroid = p("ODROID-X");
+    let tegra = p("Tegra-T30");
+    assert_eq!(odroid.ghz, tegra.ghz, "paper equalised the clocks");
+    let so = speedup(&odroid, Kernel::Convert, Resolution::Mp8);
+    let st = speedup(&tegra, Kernel::Convert, Resolution::Mp8);
+    assert!(so / st > 2.0, "ODROID {so} vs Tegra {st}");
+    // And in absolute HAND time the ODROID wins too (Section IV-B).
+    for kernel in Kernel::ALL {
+        let to = predict_seconds(&odroid, kernel, Strategy::Hand, Resolution::Mp8);
+        let tt = predict_seconds(&tegra, kernel, Strategy::Hand, Resolution::Mp8);
+        assert!(to < tt, "{kernel:?}: ODROID {to} not faster than Tegra {tt}");
+    }
+}
+
+/// Section IV-B: "the maximum speed-up observed in Figures 3-6 is about 5.5
+/// across all platforms", versus 13 for the conversion benchmark.
+#[test]
+fn figures_3_to_6_cap_below_convert() {
+    let mut max_b2_b5 = 0.0f64;
+    for platform in all_platforms() {
+        for kernel in [Kernel::Threshold, Kernel::Gaussian, Kernel::Sobel, Kernel::Edge] {
+            for res in Resolution::ALL {
+                max_b2_b5 = max_b2_b5.max(speedup(&platform, kernel, res));
+            }
+        }
+    }
+    assert!((4.0..=6.5).contains(&max_b2_b5), "max fig3-6 speed-up {max_b2_b5} (paper ~5.5)");
+}
+
+/// Section IV-B: the i5 has the best absolute times; the Exynos 4412 is the
+/// fastest ARM system; the Atom is ~10x slower than the i7.
+#[test]
+fn absolute_time_ordering() {
+    let i5 = p("i5-3360M");
+    for kernel in Kernel::ALL {
+        let best = predict_seconds(&i5, kernel, Strategy::Hand, Resolution::Mp8);
+        for platform in all_platforms() {
+            let t = predict_seconds(&platform, kernel, Strategy::Hand, Resolution::Mp8);
+            assert!(t >= best - 1e-12, "{} beat the i5 on {kernel:?}", platform.short);
+        }
+    }
+    let exynos = p("Exynos-4412");
+    for kernel in Kernel::ALL {
+        let best_arm = predict_seconds(&exynos, kernel, Strategy::Hand, Resolution::Mp8);
+        for platform in all_platforms().iter().filter(|p| p.is_arm()) {
+            let t = predict_seconds(platform, kernel, Strategy::Hand, Resolution::Mp8);
+            assert!(
+                t >= best_arm - 1e-12,
+                "{} beat the Exynos 4412 on {kernel:?}",
+                platform.short
+            );
+        }
+    }
+    // Atom vs i7 on the AUTO builds of benchmarks 2-5: "about 10x slower".
+    let atom = p("Atom-D510");
+    let i7 = p("i7-2820QM");
+    for kernel in [Kernel::Threshold, Kernel::Gaussian, Kernel::Sobel, Kernel::Edge] {
+        let ratio = predict_seconds(&atom, kernel, Strategy::Auto, Resolution::Mp8)
+            / predict_seconds(&i7, kernel, Strategy::Auto, Resolution::Mp8);
+        assert!((4.0..=14.0).contains(&ratio), "{kernel:?}: atom/i7 = {ratio}");
+    }
+}
+
+/// Section IV-B: "This system [Exynos 4412] is typically 8-15 slower than
+/// the Intel Core i5."
+#[test]
+fn exynos_4412_vs_i5_band() {
+    let exynos = p("Exynos-4412");
+    let i5 = p("i5-3360M");
+    let mut in_band = 0;
+    for kernel in Kernel::ALL {
+        let ratio = predict_seconds(&exynos, kernel, Strategy::Hand, Resolution::Mp8)
+            / predict_seconds(&i5, kernel, Strategy::Hand, Resolution::Mp8);
+        assert!((2.0..=20.0).contains(&ratio), "{kernel:?}: ratio {ratio}");
+        if (6.0..=15.0).contains(&ratio) {
+            in_band += 1;
+        }
+    }
+    assert!(in_band >= 3, "most kernels should land in the paper's 8-15x band");
+}
+
+/// Table II behaviour: "absolute execution times ... scale almost linearly
+/// with image size".
+#[test]
+fn times_scale_linearly_with_pixels() {
+    for platform in all_platforms() {
+        for strategy in [Strategy::Auto, Strategy::Hand] {
+            let t_vga = predict_seconds(&platform, Kernel::Convert, strategy, Resolution::Vga);
+            let t_8mp = predict_seconds(&platform, Kernel::Convert, strategy, Resolution::Mp8);
+            let ratio = t_8mp / t_vga;
+            let pixels = Resolution::Mp8.pixels() as f64 / Resolution::Vga.pixels() as f64;
+            assert!(
+                (ratio / pixels - 1.0).abs() < 0.25,
+                "{} {strategy:?}: {ratio} vs pixel ratio {pixels}",
+                platform.short
+            );
+        }
+    }
+}
+
+/// The in-order platforms (Atom, both A8s) benefit more from HAND than
+/// their out-of-order siblings — the paper's recurring explanation.
+#[test]
+fn in_order_platforms_gain_most() {
+    let avg_speedup = |name: &str| -> f64 {
+        let platform = p(name);
+        Kernel::ALL
+            .iter()
+            .map(|&k| speedup(&platform, k, Resolution::Mp8))
+            .sum::<f64>()
+            / Kernel::ALL.len() as f64
+    };
+    // Atom (in-order) above its Intel OoO siblings on average.
+    let atom = avg_speedup("Atom-D510");
+    assert!(atom > avg_speedup("Core2-Q9400"));
+    // A8 (in-order) above every A9 on average.
+    let a8 = avg_speedup("Exynos-3110");
+    for a9 in ["OMAP4460", "Exynos-4412", "ODROID-X", "Tegra-T30"] {
+        assert!(a8 > avg_speedup(a9), "A8 {a8} vs {a9}");
+    }
+}
