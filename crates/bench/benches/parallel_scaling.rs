@@ -30,13 +30,9 @@ fn bench_parallel(c: &mut Criterion) {
             .num_threads(t)
             .build()
             .expect("pool");
-        group.bench_with_input(
-            BenchmarkId::new("gaussian_par", t),
-            &t,
-            |b, _| {
-                pool.install(|| b.iter(|| par_gaussian_blur(&src, &mut dst, Engine::Native)))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("gaussian_par", t), &t, |b, _| {
+            pool.install(|| b.iter(|| par_gaussian_blur(&src, &mut dst, Engine::Native)))
+        });
     }
     group.finish();
 }

@@ -18,7 +18,11 @@ fn bench_table3(c: &mut Criterion) {
     group.throughput(Throughput::Elements(res.pixels() as u64));
     // The paper's AUTO (compiler) vs HAND (intrinsics) pair.
     for engine in [Engine::Autovec, Engine::Native] {
-        let strategy = if engine == Engine::Native { "HAND" } else { "AUTO" };
+        let strategy = if engine == Engine::Native {
+            "HAND"
+        } else {
+            "AUTO"
+        };
         let mut dst_u8 = Image::<u8>::new(w, h);
         let mut dst_i16 = Image::<i16>::new(w, h);
         group.bench_function(BenchmarkId::new("BinThr", strategy), |b| {

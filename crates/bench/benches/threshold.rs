@@ -17,9 +17,7 @@ fn bench_threshold(c: &mut Criterion) {
                 BenchmarkId::new(engine.label(), res.label()),
                 &engine,
                 |b, &engine| {
-                    b.iter(|| {
-                        threshold_u8(&src, &mut dst, 128, 255, ThresholdType::Binary, engine)
-                    })
+                    b.iter(|| threshold_u8(&src, &mut dst, 128, 255, ThresholdType::Binary, engine))
                 },
             );
         }

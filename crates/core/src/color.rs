@@ -163,10 +163,8 @@ pub fn bgr_row_native(b: &[u8], g: &[u8], r: &[u8], dst: &mut [u8]) {
                     acc_lo = _mm_add_epi32(acc_lo, _mm_unpacklo_epi16(lo16, hi16));
                     acc_hi = _mm_add_epi32(acc_hi, _mm_unpackhi_epi16(lo16, hi16));
                 }
-                let packed16 = _mm_packs_epi32(
-                    _mm_srli_epi32::<15>(acc_lo),
-                    _mm_srli_epi32::<15>(acc_hi),
-                );
+                let packed16 =
+                    _mm_packs_epi32(_mm_srli_epi32::<15>(acc_lo), _mm_srli_epi32::<15>(acc_hi));
                 let packed8 = _mm_packus_epi16(packed16, packed16);
                 _mm_storel_epi64(dst.as_mut_ptr().add(x) as *mut __m128i, packed8);
                 x += 8;
@@ -187,10 +185,7 @@ mod tests {
 
     #[test]
     fn weights_sum_to_q15_one() {
-        assert_eq!(
-            WEIGHT_R as u32 + WEIGHT_G as u32 + WEIGHT_B as u32,
-            1 << 15
-        );
+        assert_eq!(WEIGHT_R as u32 + WEIGHT_G as u32 + WEIGHT_B as u32, 1 << 15);
     }
 
     #[test]
@@ -211,7 +206,12 @@ mod tests {
         let r = synthetic_image(83, 31, 12);
         let mut reference = Image::new(83, 31);
         bgr_to_gray(&b, &g, &r, &mut reference, Engine::Scalar);
-        for engine in [Engine::Autovec, Engine::Sse2Sim, Engine::NeonSim, Engine::Native] {
+        for engine in [
+            Engine::Autovec,
+            Engine::Sse2Sim,
+            Engine::NeonSim,
+            Engine::Native,
+        ] {
             let mut out = Image::new(83, 31);
             bgr_to_gray(&b, &g, &r, &mut out, engine);
             assert!(out.pixels_eq(&reference), "{engine:?}");

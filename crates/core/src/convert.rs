@@ -213,13 +213,15 @@ mod tests {
         let src = srcu8.map(|v| (v - 128.0) * 400.0);
         let mut reference_img = Image::new(src.width(), src.height());
         convert_f32_to_i16(&src, &mut reference_img, Engine::Scalar);
-        for engine in [Engine::Autovec, Engine::Sse2Sim, Engine::NeonSim, Engine::Native] {
+        for engine in [
+            Engine::Autovec,
+            Engine::Sse2Sim,
+            Engine::NeonSim,
+            Engine::Native,
+        ] {
             let mut out = Image::new(src.width(), src.height());
             convert_f32_to_i16(&src, &mut out, engine);
-            assert!(
-                out.pixels_eq(&reference_img),
-                "engine {engine:?} diverged"
-            );
+            assert!(out.pixels_eq(&reference_img), "engine {engine:?} diverged");
         }
     }
 

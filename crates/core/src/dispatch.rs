@@ -7,6 +7,7 @@
 //! uses to measure each backend independently.
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 /// Which implementation of a kernel to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -63,10 +64,40 @@ impl Engine {
 
 static USE_OPTIMIZED: AtomicBool = AtomicBool::new(true);
 
+/// Serialises scoped flag flips so concurrent [`with_use_optimized`]
+/// sections (e.g. parallel `#[test]`s) never interleave their
+/// set/observe/restore windows.
+static TOGGLE_LOCK: Mutex<()> = Mutex::new(());
+
 /// Globally enables (HAND) or disables (AUTO) the optimized intrinsic
 /// kernels, like `cv::setUseOptimized`.
 pub fn set_use_optimized(on: bool) {
     USE_OPTIMIZED.store(on, Ordering::Relaxed);
+}
+
+/// Runs `f` with the global flag set to `on`, then restores the previous
+/// value — even if `f` panics.
+///
+/// Sections are mutually exclusive across threads, so code observing
+/// [`default_engine`] inside one can never see a value leaked from a
+/// half-finished flip elsewhere. Tests toggling the flag must use this
+/// instead of raw [`set_use_optimized`] pairs, which are not
+/// exception-safe and race under the parallel test runner.
+pub fn with_use_optimized<R>(on: bool, f: impl FnOnce() -> R) -> R {
+    // A panic inside a previous section poisons the mutex *after* its
+    // Restore drop ran, so the flag is already consistent: keep going.
+    let _serial = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_use_optimized(self.0);
+        }
+    }
+    let _restore = Restore(use_optimized());
+
+    set_use_optimized(on);
+    f()
 }
 
 /// Current global optimization flag.
@@ -90,8 +121,7 @@ mod tests {
 
     #[test]
     fn labels_are_unique() {
-        let labels: std::collections::HashSet<_> =
-            Engine::ALL.iter().map(|e| e.label()).collect();
+        let labels: std::collections::HashSet<_> = Engine::ALL.iter().map(|e| e.label()).collect();
         assert_eq!(labels.len(), Engine::ALL.len());
     }
 
@@ -106,13 +136,48 @@ mod tests {
 
     #[test]
     fn global_toggle_switches_default_engine() {
-        // Note: global state; restore at the end.
+        with_use_optimized(false, || {
+            assert_eq!(default_engine(), Engine::Scalar);
+        });
+        with_use_optimized(true, || {
+            assert!(default_engine().is_hand() || default_engine() == Engine::Autovec);
+        });
+    }
+
+    #[test]
+    fn with_use_optimized_restores_on_panic() {
         let initial = use_optimized();
-        set_use_optimized(false);
-        assert_eq!(default_engine(), Engine::Scalar);
-        set_use_optimized(true);
-        assert!(default_engine().is_hand() || default_engine() == Engine::Autovec);
-        set_use_optimized(initial);
+        let result = std::panic::catch_unwind(|| {
+            with_use_optimized(!initial, || panic!("boom"));
+        });
+        assert!(result.is_err());
+        assert_eq!(use_optimized(), initial, "flag leaked after panic");
+    }
+
+    #[test]
+    fn with_use_optimized_sections_are_serialised() {
+        // Hammer the flag from many threads; each section must only ever
+        // observe its own value, and the initial value must survive.
+        let initial = use_optimized();
+        std::thread::scope(|s| {
+            for i in 0..8 {
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        let on = i % 2 == 0;
+                        with_use_optimized(on, || {
+                            assert_eq!(use_optimized(), on);
+                            let want = if on {
+                                Engine::best_available()
+                            } else {
+                                Engine::Scalar
+                            };
+                            assert_eq!(default_engine(), want);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(use_optimized(), initial);
     }
 
     #[test]

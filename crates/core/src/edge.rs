@@ -165,7 +165,12 @@ mod tests {
         let src = synthetic_image(73, 41, 29);
         let mut reference = Image::new(73, 41);
         edge_detect(&src, &mut reference, 96, Engine::Scalar);
-        for engine in [Engine::Autovec, Engine::Sse2Sim, Engine::NeonSim, Engine::Native] {
+        for engine in [
+            Engine::Autovec,
+            Engine::Sse2Sim,
+            Engine::NeonSim,
+            Engine::Native,
+        ] {
             let mut out = Image::new(73, 41);
             edge_detect(&src, &mut out, 96, engine);
             assert!(out.pixels_eq(&reference), "{engine:?}");

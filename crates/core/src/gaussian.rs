@@ -16,6 +16,7 @@
 
 use crate::dispatch::Engine;
 use crate::kernelgen::{paper_gaussian_kernel, FixedKernel};
+use crate::scratch::MAX_TAPS;
 use pixelimage::Image;
 
 /// Blurs `src` into `dst` with a sampled Gaussian (`ksize` odd taps,
@@ -138,17 +139,19 @@ pub fn horizontal_row_sse2_sim(src: &[u8], dst: &mut [u16], kernel: &FixedKernel
     assert_eq!(src.len(), dst.len());
     let width = src.len();
     let r = kernel.radius;
-    if width < 2 * r + 8 || !kernel.fits_u8() {
+    if width < 2 * r + 8 || !kernel.fits_u8() || kernel.len() > MAX_TAPS {
         horizontal_row_scalar(src, dst, kernel);
         return;
     }
     horizontal_row_scalar_range(src, dst, kernel, 0, r);
     let zero = _mm_setzero_si128();
-    let weights: Vec<__m128i> = kernel
-        .weights
-        .iter()
-        .map(|&w| _mm_set1_epi16(w as i16))
-        .collect();
+    // Splatted weights live on the stack (MAX_TAPS-bounded) so row calls
+    // stay allocation-free — the fused pipeline invokes this per band row.
+    let mut weights = [zero; MAX_TAPS];
+    for (wv, &w) in weights.iter_mut().zip(kernel.weights.iter()) {
+        *wv = _mm_set1_epi16(w as i16);
+    }
+    let weights = &weights[..kernel.len()];
     let mut x = r;
     while x + 8 <= width - r {
         let mut acc = _mm_setzero_si128();
@@ -170,16 +173,16 @@ pub fn horizontal_row_neon_sim(src: &[u8], dst: &mut [u16], kernel: &FixedKernel
     assert_eq!(src.len(), dst.len());
     let width = src.len();
     let r = kernel.radius;
-    if width < 2 * r + 8 || !kernel.fits_u8() {
+    if width < 2 * r + 8 || !kernel.fits_u8() || kernel.len() > MAX_TAPS {
         horizontal_row_scalar(src, dst, kernel);
         return;
     }
     horizontal_row_scalar_range(src, dst, kernel, 0, r);
-    let weights: Vec<uint8x8_t> = kernel
-        .weights
-        .iter()
-        .map(|&w| vdup_n_u8(w as u8))
-        .collect();
+    let mut weights = [vdup_n_u8(0); MAX_TAPS];
+    for (wv, &w) in weights.iter_mut().zip(kernel.weights.iter()) {
+        *wv = vdup_n_u8(w as u8);
+    }
+    let weights = &weights[..kernel.len()];
     let mut x = r;
     while x + 8 <= width - r {
         let mut acc = vmull_u8(vld1_u8(&src[x - r..]), weights[0]);
@@ -210,7 +213,7 @@ fn horizontal_row_native_sse2(src: &[u8], dst: &mut [u16], kernel: &FixedKernel)
     assert_eq!(src.len(), dst.len());
     let width = src.len();
     let r = kernel.radius;
-    if width < 2 * r + 8 || !kernel.fits_u8() {
+    if width < 2 * r + 8 || !kernel.fits_u8() || kernel.len() > MAX_TAPS {
         horizontal_row_scalar(src, dst, kernel);
         return;
     }
@@ -221,11 +224,11 @@ fn horizontal_row_native_sse2(src: &[u8], dst: &mut [u16], kernel: &FixedKernel)
     // writes dst[x..x+8] <= width. SSE2 is baseline on x86_64.
     unsafe {
         let zero = _mm_setzero_si128();
-        let weights: Vec<__m128i> = kernel
-            .weights
-            .iter()
-            .map(|&w| _mm_set1_epi16(w as i16))
-            .collect();
+        let mut weights = [zero; MAX_TAPS];
+        for (wv, &w) in weights.iter_mut().zip(kernel.weights.iter()) {
+            *wv = _mm_set1_epi16(w as i16);
+        }
+        let weights = &weights[..kernel.len()];
         while x + 8 <= width - r {
             let mut acc = _mm_setzero_si128();
             for (k, wv) in weights.iter().enumerate() {
@@ -289,17 +292,26 @@ pub fn vertical_row_scalar(taps: &[&[u16]], dst: &mut [u8], kernel: &FixedKernel
 pub fn vertical_row_autovec(taps: &[&[u16]], dst: &mut [u8], kernel: &FixedKernel) {
     assert_eq!(taps.len(), kernel.len());
     let width = dst.len();
-    // Accumulate per-tap into a u32 scratch row; LLVM vectorises each
-    // inner loop independently.
-    let mut acc = vec![ROUND; width];
-    for (row, &w) in taps.iter().zip(kernel.weights.iter()) {
-        let w = w as u32;
-        for (a, &v) in acc.iter_mut().zip(row[..width].iter()) {
-            *a += v as u32 * w;
+    // Accumulate per-tap into a u32 stack block; LLVM vectorises each
+    // inner loop independently and no heap allocation is needed (the same
+    // per-element u32 arithmetic as the old full-row scratch, so outputs
+    // are unchanged).
+    const BLOCK: usize = 64;
+    let mut acc = [0u32; BLOCK];
+    let mut x0 = 0;
+    while x0 < width {
+        let n = BLOCK.min(width - x0);
+        acc[..n].fill(ROUND);
+        for (row, &w) in taps.iter().zip(kernel.weights.iter()) {
+            let w = w as u32;
+            for (a, &v) in acc[..n].iter_mut().zip(row[x0..x0 + n].iter()) {
+                *a += v as u32 * w;
+            }
         }
-    }
-    for (d, &a) in dst.iter_mut().zip(acc.iter()) {
-        *d = (a >> 16) as u8;
+        for (d, &a) in dst[x0..x0 + n].iter_mut().zip(acc[..n].iter()) {
+            *d = (a >> 16) as u8;
+        }
+        x0 += n;
     }
 }
 
@@ -308,13 +320,17 @@ pub fn vertical_row_autovec(taps: &[&[u16]], dst: &mut [u8], kernel: &FixedKerne
 pub fn vertical_row_sse2_sim(taps: &[&[u16]], dst: &mut [u8], kernel: &FixedKernel) {
     use sse_sim::*;
     assert_eq!(taps.len(), kernel.len());
+    if kernel.len() > MAX_TAPS {
+        vertical_row_scalar(taps, dst, kernel);
+        return;
+    }
     let width = dst.len();
     let round = _mm_set1_epi32(ROUND as i32);
-    let weights: Vec<__m128i> = kernel
-        .weights
-        .iter()
-        .map(|&w| _mm_set1_epi16(w as i16))
-        .collect();
+    let mut weights = [_mm_setzero_si128(); MAX_TAPS];
+    for (wv, &w) in weights.iter_mut().zip(kernel.weights.iter()) {
+        *wv = _mm_set1_epi16(w as i16);
+    }
+    let weights = &weights[..kernel.len()];
     let mut x = 0;
     while x + 8 <= width {
         let mut acc_lo = round;
@@ -341,13 +357,17 @@ pub fn vertical_row_sse2_sim(taps: &[&[u16]], dst: &mut [u8], kernel: &FixedKern
 pub fn vertical_row_neon_sim(taps: &[&[u16]], dst: &mut [u8], kernel: &FixedKernel) {
     use neon_sim::*;
     assert_eq!(taps.len(), kernel.len());
+    if kernel.len() > MAX_TAPS {
+        vertical_row_scalar(taps, dst, kernel);
+        return;
+    }
     let width = dst.len();
     let round = vdupq_n_u32(ROUND);
-    let weights: Vec<uint16x4_t> = kernel
-        .weights
-        .iter()
-        .map(|&w| uint16x4_t::splat(w as u16))
-        .collect();
+    let mut weights = [uint16x4_t::splat(0); MAX_TAPS];
+    for (wv, &w) in weights.iter_mut().zip(kernel.weights.iter()) {
+        *wv = uint16x4_t::splat(w as u16);
+    }
+    let weights = &weights[..kernel.len()];
     let mut x = 0;
     while x + 8 <= width {
         let mut acc_lo = round;
@@ -398,17 +418,21 @@ pub fn vertical_row_native(taps: &[&[u16]], dst: &mut [u8], kernel: &FixedKernel
 fn vertical_row_native_sse2(taps: &[&[u16]], dst: &mut [u8], kernel: &FixedKernel) {
     use std::arch::x86_64::*;
     assert_eq!(taps.len(), kernel.len());
+    if kernel.len() > MAX_TAPS {
+        vertical_row_scalar(taps, dst, kernel);
+        return;
+    }
     let width = dst.len();
     let mut x = 0;
     // SAFETY: loads read row[x..x+8] of each tap row (length >= width);
     // the 64-bit store writes dst[x..x+8]; x + 8 <= width throughout.
     unsafe {
         let round = _mm_set1_epi32(ROUND as i32);
-        let weights: Vec<__m128i> = kernel
-            .weights
-            .iter()
-            .map(|&w| _mm_set1_epi16(w as i16))
-            .collect();
+        let mut weights = [_mm_setzero_si128(); MAX_TAPS];
+        for (wv, &w) in weights.iter_mut().zip(kernel.weights.iter()) {
+            *wv = _mm_set1_epi16(w as i16);
+        }
+        let weights = &weights[..kernel.len()];
         while x + 8 <= width {
             let mut acc_lo = round;
             let mut acc_hi = round;
@@ -455,7 +479,12 @@ mod tests {
         let src = synthetic_image(83, 37, 21);
         let mut reference = Image::new(83, 37);
         gaussian_blur(&src, &mut reference, Engine::Scalar);
-        for engine in [Engine::Autovec, Engine::Sse2Sim, Engine::NeonSim, Engine::Native] {
+        for engine in [
+            Engine::Autovec,
+            Engine::Sse2Sim,
+            Engine::NeonSim,
+            Engine::Native,
+        ] {
             let mut out = Image::new(83, 37);
             gaussian_blur(&src, &mut out, engine);
             assert!(out.pixels_eq(&reference), "engine {engine:?} diverged");
@@ -515,7 +544,12 @@ mod tests {
             let src = Image::from_fn(width, 9, |x, y| (x * 31 + y * 7) as u8);
             let mut reference = Image::new(width, 9);
             gaussian_blur(&src, &mut reference, Engine::Scalar);
-            for engine in [Engine::Autovec, Engine::Sse2Sim, Engine::NeonSim, Engine::Native] {
+            for engine in [
+                Engine::Autovec,
+                Engine::Sse2Sim,
+                Engine::NeonSim,
+                Engine::Native,
+            ] {
                 let mut out = Image::new(width, 9);
                 gaussian_blur(&src, &mut out, engine);
                 assert!(out.pixels_eq(&reference), "{engine:?} width {width}");

@@ -55,9 +55,7 @@ pub fn horizontal_row_f32(
     engine: Engine,
 ) {
     match engine {
-        Engine::Scalar | Engine::Autovec => {
-            horizontal_row_f32_scalar(src, dst, weights, radius)
-        }
+        Engine::Scalar | Engine::Autovec => horizontal_row_f32_scalar(src, dst, weights, radius),
         Engine::Sse2Sim => horizontal_row_f32_sse2_sim(src, dst, weights, radius),
         Engine::NeonSim => horizontal_row_f32_neon_sim(src, dst, weights, radius),
         Engine::Native => horizontal_row_f32_native(src, dst, weights, radius),
@@ -70,8 +68,7 @@ fn horizontal_row_f32_scalar(src: &[f32], dst: &mut [f32], weights: &[f32], radi
     for x in 0..n {
         let mut acc = 0.0f32;
         for (k, &w) in weights.iter().enumerate() {
-            let idx = (x as isize + k as isize - radius as isize)
-                .clamp(0, n as isize - 1) as usize;
+            let idx = (x as isize + k as isize - radius as isize).clamp(0, n as isize - 1) as usize;
             acc += src[idx] * w;
         }
         dst[x] = acc;
@@ -90,8 +87,7 @@ fn horizontal_row_f32_range(
     for x in from..to {
         let mut acc = 0.0f32;
         for (k, &w) in weights.iter().enumerate() {
-            let idx = (x as isize + k as isize - radius as isize)
-                .clamp(0, n as isize - 1) as usize;
+            let idx = (x as isize + k as isize - radius as isize).clamp(0, n as isize - 1) as usize;
             acc += src[idx] * w;
         }
         dst[x] = acc;
@@ -275,7 +271,12 @@ mod tests {
         let src = synthetic_image_f32(77, 29, 19);
         let mut reference = Image::new(77, 29);
         gaussian_blur_f32(&src, &mut reference, 1.0, 7, Engine::Scalar);
-        for engine in [Engine::Autovec, Engine::Sse2Sim, Engine::NeonSim, Engine::Native] {
+        for engine in [
+            Engine::Autovec,
+            Engine::Sse2Sim,
+            Engine::NeonSim,
+            Engine::Native,
+        ] {
             let mut out = Image::new(77, 29);
             gaussian_blur_f32(&src, &mut out, 1.0, 7, engine);
             for y in 0..29 {
@@ -292,9 +293,10 @@ mod tests {
         let src = Image::<f32>::from_fn(32, 16, |_, _| 100.0);
         let mut dst = Image::new(32, 16);
         gaussian_blur_f32(&src, &mut dst, 1.0, 7, Engine::Native);
-        assert!(dst
-            .iter_pixels()
-            .all(|v| (v - 100.0).abs() < 1e-3), "constant drifted");
+        assert!(
+            dst.iter_pixels().all(|v| (v - 100.0).abs() < 1e-3),
+            "constant drifted"
+        );
     }
 
     #[test]
@@ -310,7 +312,12 @@ mod tests {
         for y in 0..40 {
             for x in 0..60 {
                 let diff = (blurf.get(x, y) - blur8.get(x, y) as f32).abs();
-                assert!(diff <= 1.5, "({x},{y}): f32 {} vs q8 {}", blurf.get(x, y), blur8.get(x, y));
+                assert!(
+                    diff <= 1.5,
+                    "({x},{y}): f32 {} vs q8 {}",
+                    blurf.get(x, y),
+                    blur8.get(x, y)
+                );
             }
         }
     }
@@ -338,7 +345,10 @@ mod tests {
         let src = synthetic_image_f32(64, 48, 31);
         let variance = |img: &Image<f32>| {
             let mean = img.iter_pixels().sum::<f32>() / img.pixels() as f32;
-            img.iter_pixels().map(|v| (v - mean) * (v - mean)).sum::<f32>() / img.pixels() as f32
+            img.iter_pixels()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f32>()
+                / img.pixels() as f32
         };
         let mut narrow = Image::new(64, 48);
         let mut wide = Image::new(64, 48);

@@ -120,7 +120,11 @@ mod tests {
         assert_eq!(k.weights[0], k.weights[6]);
         assert_eq!(k.weights[1], k.weights[5]);
         assert_eq!(k.weights[2], k.weights[4]);
-        assert!(k.weights[3] > 90 && k.weights[3] < 115, "centre {}", k.weights[3]);
+        assert!(
+            k.weights[3] > 90 && k.weights[3] < 115,
+            "centre {}",
+            k.weights[3]
+        );
         assert!(k.weights[0] >= 1);
     }
 

@@ -27,7 +27,6 @@
 //! suite and property tests enforce this.
 
 #![warn(missing_docs)]
-
 // Kernel loops index pixels positionally (`dst[x] = f(src[x-1..x+1])`):
 // the clamped-neighbourhood arithmetic reads clearer than iterator chains
 // and matches the paper's listings.
@@ -43,19 +42,26 @@ pub mod gaussian_f32;
 pub mod kernelgen;
 pub mod median;
 pub mod parallel;
+pub mod pipeline;
 pub mod resize;
+pub mod scratch;
 pub mod sobel;
 pub mod threshold;
 
-pub use dispatch::{set_use_optimized, use_optimized, Engine};
+pub use dispatch::{set_use_optimized, use_optimized, with_use_optimized, Engine};
 pub use threshold::ThresholdType;
 
 /// Convenience re-exports for downstream users.
 pub mod prelude {
     pub use crate::convert::convert_f32_to_i16;
-    pub use crate::dispatch::{set_use_optimized, use_optimized, Engine};
+    pub use crate::dispatch::{set_use_optimized, use_optimized, with_use_optimized, Engine};
     pub use crate::edge::edge_detect;
     pub use crate::gaussian::gaussian_blur;
+    pub use crate::pipeline::{
+        fused_edge_detect, fused_gaussian_blur, fused_sobel, par_fused_edge_detect,
+        par_fused_gaussian_blur, par_fused_sobel, BandPlan,
+    };
+    pub use crate::scratch::Scratch;
     pub use crate::sobel::{sobel, SobelDirection};
     pub use crate::threshold::{threshold_u8, ThresholdType};
     pub use pixelimage::{Image, Resolution};

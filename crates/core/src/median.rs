@@ -234,8 +234,7 @@ fn median_edge(above: &[u8], here: &[u8], below: &[u8], x: usize, w: usize) -> u
     let xm = cx(x as isize - 1);
     let xp = cx(x as isize + 1);
     let mut v = [
-        above[xm], above[x], above[xp], here[xm], here[x], here[xp], below[xm], below[x],
-        below[xp],
+        above[xm], above[x], above[xp], here[xm], here[x], here[xp], below[xm], below[x], below[xp],
     ];
     v.sort_unstable();
     v[4]
@@ -251,7 +250,12 @@ mod tests {
         let src = synthetic_image(131, 47, 71);
         let mut reference = Image::new(131, 47);
         median_blur3(&src, &mut reference, Engine::Scalar);
-        for engine in [Engine::Autovec, Engine::Sse2Sim, Engine::NeonSim, Engine::Native] {
+        for engine in [
+            Engine::Autovec,
+            Engine::Sse2Sim,
+            Engine::NeonSim,
+            Engine::Native,
+        ] {
             let mut out = Image::new(131, 47);
             median_blur3(&src, &mut out, engine);
             assert!(out.pixels_eq(&reference), "{engine:?}");

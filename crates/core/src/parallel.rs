@@ -5,13 +5,21 @@
 //! splits the image into horizontal bands processed by rayon's work-stealing
 //! pool, running the chosen [`Engine`] inside each band — SIMD and
 //! multi-threading compose.
+//!
+//! The stencil kernels (Gaussian, Sobel, edge) delegate to the band-tiled
+//! fused pipeline in [`crate::pipeline`], which parallelises over bands
+//! without materialising full-image intermediates and without allocating
+//! inside worker closures. The pointwise kernels (convert, threshold)
+//! parallelise over rows directly — they have no intermediates to fuse.
 
 use crate::convert::convert_row;
 use crate::dispatch::Engine;
-use crate::edge::magnitude_row;
-use crate::gaussian::{horizontal_row, vertical_row};
 use crate::kernelgen::{paper_gaussian_kernel, FixedKernel};
-use crate::sobel::{h_diff_row, h_smooth_row, v_diff_row, v_smooth_row, SobelDirection};
+use crate::pipeline::{
+    par_fused_edge_detect_with, par_fused_gaussian_blur_with, par_fused_sobel_with, BandPlan,
+};
+use crate::scratch::Scratch;
+use crate::sobel::SobelDirection;
 use crate::threshold::{threshold_row, ThresholdType};
 use pixelimage::Image;
 use rayon::prelude::*;
@@ -61,79 +69,34 @@ pub fn par_gaussian_blur(src: &Image<u8>, dst: &mut Image<u8>, engine: Engine) {
     par_gaussian_blur_kernel(src, dst, &paper_gaussian_kernel(), engine);
 }
 
-/// Row-parallel Gaussian blur with an explicit kernel. Both passes are
-/// parallelised; the vertical pass reads the shared intermediate image.
+/// Band-parallel Gaussian blur with an explicit kernel, via the fused
+/// pipeline: no intermediate image, no allocations inside workers.
 pub fn par_gaussian_blur_kernel(
     src: &Image<u8>,
     dst: &mut Image<u8>,
     kernel: &FixedKernel,
     engine: Engine,
 ) {
-    assert_eq!(src.width(), dst.width(), "width mismatch");
-    assert_eq!(src.height(), dst.height(), "height mismatch");
-    let height = src.height();
-    let r = kernel.radius;
-    let mut mid = Image::<u16>::new(src.width(), src.height());
-    rows_mut(&mut mid)
-        .into_par_iter()
-        .enumerate()
-        .for_each(|(y, mrow)| horizontal_row(src.row(y), mrow, kernel, engine));
-    let clamp = |y: isize| y.clamp(0, height as isize - 1) as usize;
-    rows_mut(dst)
-        .into_par_iter()
-        .enumerate()
-        .for_each(|(y, drow)| {
-            let taps: Vec<&[u16]> = (0..kernel.len())
-                .map(|k| mid.row(clamp(y as isize + k as isize - r as isize)))
-                .collect();
-            vertical_row(&taps, drow, kernel, engine);
-        });
+    let mut scratch = Scratch::new();
+    let plan = BandPlan::for_width(src.width());
+    par_fused_gaussian_blur_with(src, dst, kernel, engine, &mut scratch, &plan);
 }
 
-/// Row-parallel Sobel gradient.
+/// Band-parallel Sobel gradient via the fused pipeline.
 pub fn par_sobel(src: &Image<u8>, dst: &mut Image<i16>, dir: SobelDirection, engine: Engine) {
-    assert_eq!(src.width(), dst.width(), "width mismatch");
-    assert_eq!(src.height(), dst.height(), "height mismatch");
-    let height = src.height();
-    let mut mid = Image::<i16>::new(src.width(), src.height());
-    rows_mut(&mut mid)
-        .into_par_iter()
-        .enumerate()
-        .for_each(|(y, mrow)| match dir {
-            SobelDirection::X => h_diff_row(src.row(y), mrow, engine),
-            SobelDirection::Y => h_smooth_row(src.row(y), mrow, engine),
-        });
-    let clamp = |y: isize| y.clamp(0, height as isize - 1) as usize;
-    rows_mut(dst)
-        .into_par_iter()
-        .enumerate()
-        .for_each(|(y, drow)| {
-            let above = mid.row(clamp(y as isize - 1));
-            let here = mid.row(y);
-            let below = mid.row(clamp(y as isize + 1));
-            match dir {
-                SobelDirection::X => v_smooth_row(above, here, below, drow, engine),
-                SobelDirection::Y => v_diff_row(above, below, drow, engine),
-            }
-        });
+    let mut scratch = Scratch::new();
+    let plan = BandPlan::for_width(src.width());
+    par_fused_sobel_with(src, dst, dir, engine, &mut scratch, &plan);
 }
 
-/// Row-parallel edge detection.
+/// Band-parallel edge detection via the fused pipeline: the former
+/// implementation ran two full `par_sobel` passes into gradient images and
+/// allocated a magnitude row per output row; this runs the whole
+/// Sobel×2 → magnitude → threshold chain per band with pooled buffers.
 pub fn par_edge_detect(src: &Image<u8>, dst: &mut Image<u8>, thresh: u8, engine: Engine) {
-    assert_eq!(src.width(), dst.width(), "width mismatch");
-    assert_eq!(src.height(), dst.height(), "height mismatch");
-    let mut gx = Image::<i16>::new(src.width(), src.height());
-    let mut gy = Image::<i16>::new(src.width(), src.height());
-    par_sobel(src, &mut gx, SobelDirection::X, engine);
-    par_sobel(src, &mut gy, SobelDirection::Y, engine);
-    rows_mut(dst)
-        .into_par_iter()
-        .enumerate()
-        .for_each(|(y, drow)| {
-            let mut mag = vec![0u8; drow.len()];
-            magnitude_row(gx.row(y), gy.row(y), &mut mag, engine);
-            threshold_row(&mag, drow, thresh, 255, ThresholdType::Binary, engine);
-        });
+    let mut scratch = Scratch::new();
+    let plan = BandPlan::for_width(src.width());
+    par_fused_edge_detect_with(src, dst, thresh, engine, &mut scratch, &plan);
 }
 
 #[cfg(test)]
@@ -160,9 +123,23 @@ mod tests {
     fn par_threshold_matches_sequential() {
         let src = synthetic_image(131, 61, 43);
         let mut seq = Image::new(131, 61);
-        threshold_u8(&src, &mut seq, 128, 255, ThresholdType::Binary, Engine::Native);
+        threshold_u8(
+            &src,
+            &mut seq,
+            128,
+            255,
+            ThresholdType::Binary,
+            Engine::Native,
+        );
         let mut par = Image::new(131, 61);
-        par_threshold_u8(&src, &mut par, 128, 255, ThresholdType::Binary, Engine::Native);
+        par_threshold_u8(
+            &src,
+            &mut par,
+            128,
+            255,
+            ThresholdType::Binary,
+            Engine::Native,
+        );
         assert!(par.pixels_eq(&seq));
     }
 

@@ -134,8 +134,7 @@ pub fn downsample_row_native(top: &[u8], bottom: &[u8], dst: &mut [u8]) {
                         _mm_and_si128(v0, byte_mask),
                         _mm_and_si128(v1, byte_mask),
                     );
-                    let odd =
-                        _mm_packus_epi16(_mm_srli_epi16::<8>(v0), _mm_srli_epi16::<8>(v1));
+                    let odd = _mm_packus_epi16(_mm_srli_epi16::<8>(v0), _mm_srli_epi16::<8>(v1));
                     _mm_avg_epu8(even, odd)
                 };
                 let out = _mm_avg_epu8(havg(top), havg(bottom));
@@ -171,7 +170,12 @@ mod tests {
         let src = synthetic_image(130, 66, 15);
         let mut reference = Image::new(65, 33);
         downsample2x(&src, &mut reference, Engine::Scalar);
-        for engine in [Engine::Autovec, Engine::Sse2Sim, Engine::NeonSim, Engine::Native] {
+        for engine in [
+            Engine::Autovec,
+            Engine::Sse2Sim,
+            Engine::NeonSim,
+            Engine::Native,
+        ] {
             let mut out = Image::new(65, 33);
             downsample2x(&src, &mut out, engine);
             assert!(out.pixels_eq(&reference), "{engine:?}");

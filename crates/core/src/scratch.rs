@@ -1,0 +1,302 @@
+//! Reusable scratch buffers for the fused band pipeline.
+//!
+//! The two-pass kernels allocate full-image intermediates on every call
+//! (`Image<u16>` for the Gaussian, one or two `Image<i16>` for
+//! Sobel/edge). The fused pipeline in [`crate::pipeline`] replaces those
+//! with a handful of row-sized ring buffers per band, and this module
+//! provides the arena they come from: a [`Scratch`] owns a pool of
+//! [`BandWorkspace`]s that are checked out before a (possibly parallel)
+//! band loop and returned afterwards, so steady-state processing performs
+//! **zero** heap allocations — a property the arena itself can attest via
+//! [`Scratch::fresh_allocs`], which counts every buffer the pool had to
+//! grow. Tests assert the counter stays flat on warm runs.
+
+use simd_vector::align::AlignedBuf;
+
+/// Largest kernel length (taps) the fused pipeline supports without
+/// falling back to the two-pass implementation; also bounds the stack
+/// arrays used for tap pointers and splatted weights, keeping per-row
+/// state off the heap.
+pub const MAX_TAPS: usize = 31;
+
+/// Per-band working memory for any of the fused kernels.
+///
+/// One workspace serves every fused kernel shape:
+///
+/// * Gaussian: `ring_u16` holds the `k = 2r+1` most recent horizontal-pass
+///   rows.
+/// * Sobel: the first 3 rows of `ring_a` hold the `[-1,0,1]` or `[1,2,1]`
+///   horizontal results.
+/// * Edge: `ring_a` (h-diff) and `ring_b` (h-smooth) both cycle 3 rows;
+///   `row_gx`/`row_gy`/`row_u8` hold the per-row gradient and magnitude.
+///
+/// Buffers are allocated at least as large as requested and sliced to the
+/// image width at the point of use, so a workspace warmed on one image is
+/// reused as-is for any image of equal or smaller width.
+#[derive(Debug)]
+pub struct BandWorkspace {
+    /// Gaussian horizontal-pass ring (`k` rows).
+    pub ring_u16: Vec<AlignedBuf<u16>>,
+    /// Sobel/edge first horizontal ring (3 rows).
+    pub ring_a: Vec<AlignedBuf<i16>>,
+    /// Edge second horizontal ring (3 rows).
+    pub ring_b: Vec<AlignedBuf<i16>>,
+    /// Per-row gx gradient.
+    pub row_gx: AlignedBuf<i16>,
+    /// Per-row gy gradient.
+    pub row_gy: AlignedBuf<i16>,
+    /// Per-row u8 temporary (gradient magnitude).
+    pub row_u8: AlignedBuf<u8>,
+}
+
+impl Default for BandWorkspace {
+    /// An empty workspace; zero-length `AlignedBuf`s allocate nothing.
+    fn default() -> Self {
+        BandWorkspace {
+            ring_u16: Vec::new(),
+            ring_a: Vec::new(),
+            ring_b: Vec::new(),
+            row_gx: AlignedBuf::zeroed(0),
+            row_gy: AlignedBuf::zeroed(0),
+            row_u8: AlignedBuf::zeroed(0),
+        }
+    }
+}
+
+/// Buffer-shape requirements for one checkout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkspaceSpec {
+    /// Row length every buffer must support (image width).
+    pub width: usize,
+    /// Rows needed in `ring_u16` (0 when the kernel does not use it).
+    pub u16_rows: usize,
+    /// Rows needed in `ring_a`.
+    pub a_rows: usize,
+    /// Rows needed in `ring_b`.
+    pub b_rows: usize,
+    /// Whether the per-row gx/gy/u8 buffers are needed.
+    pub row_temps: bool,
+}
+
+impl WorkspaceSpec {
+    /// Spec for a fused Gaussian with a `k`-tap kernel.
+    pub fn gaussian(width: usize, k: usize) -> Self {
+        WorkspaceSpec {
+            width,
+            u16_rows: k,
+            a_rows: 0,
+            b_rows: 0,
+            row_temps: false,
+        }
+    }
+
+    /// Spec for a fused Sobel pass.
+    pub fn sobel(width: usize) -> Self {
+        WorkspaceSpec {
+            width,
+            u16_rows: 0,
+            a_rows: 3,
+            b_rows: 0,
+            row_temps: false,
+        }
+    }
+
+    /// Spec for the fused edge-detection chain.
+    pub fn edge(width: usize) -> Self {
+        WorkspaceSpec {
+            width,
+            u16_rows: 0,
+            a_rows: 3,
+            b_rows: 3,
+            row_temps: true,
+        }
+    }
+}
+
+/// A pool of [`BandWorkspace`]s with an allocation ledger.
+///
+/// `Scratch` is cheap to construct (allocates nothing until first use) and
+/// intended to be long-lived: the harness and benches create one per
+/// kernel loop and feed it to every `fused_*_with` call. The
+/// [`fresh_allocs`](Scratch::fresh_allocs) counter increments once per
+/// buffer the pool had to allocate or grow, so
+///
+/// ```text
+/// let before = scratch.fresh_allocs();
+/// fused_edge_detect_with(..., &mut scratch);   // second run, same size
+/// assert_eq!(scratch.fresh_allocs(), before);  // fully warm: no allocs
+/// ```
+///
+/// is the arena-level statement of the pipeline's zero-allocation
+/// contract.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    pool: Vec<BandWorkspace>,
+    fresh_allocs: usize,
+}
+
+impl Scratch {
+    /// Creates an empty arena. Nothing is allocated until a checkout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffer allocations (or growths) performed so far.
+    pub fn fresh_allocs(&self) -> usize {
+        self.fresh_allocs
+    }
+
+    /// Number of workspaces currently parked in the pool.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Checks out a workspace satisfying `spec`, reusing pooled buffers
+    /// where they are already large enough and growing them (counted)
+    /// where they are not.
+    ///
+    /// The pool is shape-aware: a pooled workspace that already satisfies
+    /// `spec` is preferred over the most recently returned one, so a
+    /// single arena serving differently-shaped kernels (gaussian rings vs
+    /// edge rings) stays allocation-free once each shape has been seen.
+    pub fn checkout(&mut self, spec: WorkspaceSpec) -> BandWorkspace {
+        let ready = self.pool.iter().position(|ws| Self::satisfies(ws, &spec));
+        let mut ws = match ready {
+            Some(i) => self.pool.swap_remove(i),
+            None => self.pool.pop().unwrap_or_default(),
+        };
+        Self::ensure_ring(
+            &mut self.fresh_allocs,
+            &mut ws.ring_u16,
+            spec.u16_rows,
+            spec.width,
+        );
+        Self::ensure_ring(
+            &mut self.fresh_allocs,
+            &mut ws.ring_a,
+            spec.a_rows,
+            spec.width,
+        );
+        Self::ensure_ring(
+            &mut self.fresh_allocs,
+            &mut ws.ring_b,
+            spec.b_rows,
+            spec.width,
+        );
+        if spec.row_temps {
+            Self::ensure_buf(&mut self.fresh_allocs, &mut ws.row_gx, spec.width);
+            Self::ensure_buf(&mut self.fresh_allocs, &mut ws.row_gy, spec.width);
+            Self::ensure_buf(&mut self.fresh_allocs, &mut ws.row_u8, spec.width);
+        }
+        ws
+    }
+
+    /// Returns a workspace to the pool for later reuse.
+    pub fn give_back(&mut self, ws: BandWorkspace) {
+        self.pool.push(ws);
+    }
+
+    /// True when `ws` can serve `spec` without any buffer growth.
+    fn satisfies(ws: &BandWorkspace, spec: &WorkspaceSpec) -> bool {
+        let ring_ok = |ring: &[AlignedBuf<i16>], rows: usize| {
+            ring.len() >= rows && ring.iter().take(rows).all(|b| b.len() >= spec.width)
+        };
+        ws.ring_u16.len() >= spec.u16_rows
+            && ws
+                .ring_u16
+                .iter()
+                .take(spec.u16_rows)
+                .all(|b| b.len() >= spec.width)
+            && ring_ok(&ws.ring_a, spec.a_rows)
+            && ring_ok(&ws.ring_b, spec.b_rows)
+            && (!spec.row_temps
+                || (ws.row_gx.len() >= spec.width
+                    && ws.row_gy.len() >= spec.width
+                    && ws.row_u8.len() >= spec.width))
+    }
+
+    fn ensure_ring<T: simd_vector::align::Pod>(
+        ledger: &mut usize,
+        ring: &mut Vec<AlignedBuf<T>>,
+        rows: usize,
+        width: usize,
+    ) {
+        for buf in ring.iter_mut().take(rows) {
+            Self::ensure_buf(ledger, buf, width);
+        }
+        while ring.len() < rows {
+            *ledger += 1;
+            ring.push(AlignedBuf::zeroed(width));
+        }
+    }
+
+    fn ensure_buf<T: simd_vector::align::Pod>(
+        ledger: &mut usize,
+        buf: &mut AlignedBuf<T>,
+        width: usize,
+    ) {
+        if buf.len() < width {
+            *ledger += 1;
+            *buf = AlignedBuf::zeroed(width);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_checkout_allocates_warm_checkout_does_not() {
+        let mut scratch = Scratch::new();
+        let spec = WorkspaceSpec::edge(640);
+        let ws = scratch.checkout(spec);
+        let cold = scratch.fresh_allocs();
+        assert!(cold >= 9, "edge spec needs 3+3 ring rows and 3 row temps");
+        scratch.give_back(ws);
+
+        let ws = scratch.checkout(spec);
+        assert_eq!(scratch.fresh_allocs(), cold, "warm checkout allocated");
+        assert!(ws.ring_a.len() >= 3 && ws.ring_b.len() >= 3);
+        assert!(ws.row_gx.len() >= 640 && ws.row_u8.len() >= 640);
+        scratch.give_back(ws);
+    }
+
+    #[test]
+    fn smaller_requests_reuse_larger_buffers() {
+        let mut scratch = Scratch::new();
+        let ws = scratch.checkout(WorkspaceSpec::gaussian(1000, 7));
+        let cold = scratch.fresh_allocs();
+        scratch.give_back(ws);
+        let ws = scratch.checkout(WorkspaceSpec::gaussian(500, 7));
+        assert_eq!(scratch.fresh_allocs(), cold);
+        scratch.give_back(ws);
+    }
+
+    #[test]
+    fn wider_requests_grow_and_are_counted() {
+        let mut scratch = Scratch::new();
+        let ws = scratch.checkout(WorkspaceSpec::sobel(100));
+        let cold = scratch.fresh_allocs();
+        scratch.give_back(ws);
+        let ws = scratch.checkout(WorkspaceSpec::sobel(200));
+        assert!(scratch.fresh_allocs() > cold, "growth must be visible");
+        scratch.give_back(ws);
+    }
+
+    #[test]
+    fn multiple_checkouts_pool_independently() {
+        let mut scratch = Scratch::new();
+        let a = scratch.checkout(WorkspaceSpec::sobel(64));
+        let b = scratch.checkout(WorkspaceSpec::sobel(64));
+        scratch.give_back(a);
+        scratch.give_back(b);
+        assert_eq!(scratch.pooled(), 2);
+        let cold = scratch.fresh_allocs();
+        let a = scratch.checkout(WorkspaceSpec::sobel(64));
+        let b = scratch.checkout(WorkspaceSpec::sobel(64));
+        assert_eq!(scratch.fresh_allocs(), cold);
+        scratch.give_back(a);
+        scratch.give_back(b);
+    }
+}

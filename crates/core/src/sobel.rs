@@ -257,10 +257,8 @@ fn h_smooth_row_native(src: &[u8], dst: &mut [i16]) {
                     _mm_loadl_epi64(src.as_ptr().add(x - 1) as *const __m128i),
                     zero,
                 );
-                let mid = _mm_unpacklo_epi8(
-                    _mm_loadl_epi64(src.as_ptr().add(x) as *const __m128i),
-                    zero,
-                );
+                let mid =
+                    _mm_unpacklo_epi8(_mm_loadl_epi64(src.as_ptr().add(x) as *const __m128i), zero);
                 let right = _mm_unpacklo_epi8(
                     _mm_loadl_epi64(src.as_ptr().add(x + 1) as *const __m128i),
                     zero,
@@ -462,7 +460,12 @@ mod tests {
         for dir in [SobelDirection::X, SobelDirection::Y] {
             let mut reference = Image::new(85, 33);
             sobel(&src, &mut reference, dir, Engine::Scalar);
-            for engine in [Engine::Autovec, Engine::Sse2Sim, Engine::NeonSim, Engine::Native] {
+            for engine in [
+                Engine::Autovec,
+                Engine::Sse2Sim,
+                Engine::NeonSim,
+                Engine::Native,
+            ] {
                 let mut out = Image::new(85, 33);
                 sobel(&src, &mut out, dir, engine);
                 assert!(out.pixels_eq(&reference), "{dir:?} {engine:?}");

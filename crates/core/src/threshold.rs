@@ -386,9 +386,23 @@ mod tests {
         // fixed point.
         let img = synthetic_image(64, 64, 3);
         let mut once = Image::new(64, 64);
-        threshold_u8(&img, &mut once, 128, 255, ThresholdType::Binary, Engine::Native);
+        threshold_u8(
+            &img,
+            &mut once,
+            128,
+            255,
+            ThresholdType::Binary,
+            Engine::Native,
+        );
         let mut twice = Image::new(64, 64);
-        threshold_u8(&once, &mut twice, 128, 255, ThresholdType::Binary, Engine::Native);
+        threshold_u8(
+            &once,
+            &mut twice,
+            128,
+            255,
+            ThresholdType::Binary,
+            Engine::Native,
+        );
         assert!(once.pixels_eq(&twice));
     }
 
@@ -397,8 +411,22 @@ mod tests {
         let img = synthetic_image(64, 64, 4);
         let mut b = Image::new(64, 64);
         let mut binv = Image::new(64, 64);
-        threshold_u8(&img, &mut b, 128, 255, ThresholdType::Binary, Engine::Native);
-        threshold_u8(&img, &mut binv, 128, 255, ThresholdType::BinaryInv, Engine::Native);
+        threshold_u8(
+            &img,
+            &mut b,
+            128,
+            255,
+            ThresholdType::Binary,
+            Engine::Native,
+        );
+        threshold_u8(
+            &img,
+            &mut binv,
+            128,
+            255,
+            ThresholdType::BinaryInv,
+            Engine::Native,
+        );
         for y in 0..64 {
             for (pb, pi) in b.row(y).iter().zip(binv.row(y).iter()) {
                 assert_eq!(pb.wrapping_add(*pi), 255);

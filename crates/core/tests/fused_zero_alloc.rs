@@ -1,0 +1,89 @@
+//! Allocator-level proof of the fused pipeline's zero-allocation contract:
+//! once a [`Scratch`] arena is warm, a sequential `fused_*_with` call
+//! performs **no** heap allocations at all — counted by a wrapping global
+//! allocator, not inferred from the arena's own ledger.
+//!
+//! Only the sequential entry points are measured here: the parallel
+//! drivers hand rows to rayon, whose pool machinery may allocate outside
+//! our control (the arena-ledger test in `pipeline::tests` covers the
+//! parallel path's buffer discipline instead).
+//!
+//! The whole file is a single `#[test]` because the counter is global and
+//! the libtest harness runs sibling tests on other threads.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with allocation counting on; returns how many allocations
+/// (including reallocations) it performed.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    f();
+    COUNTING.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn warm_sequential_fused_calls_do_not_allocate() {
+    use pixelimage::{synthetic_image, Image};
+    use simdbench_core::dispatch::Engine;
+    use simdbench_core::kernelgen::paper_gaussian_kernel;
+    use simdbench_core::pipeline::{
+        fused_edge_detect_with, fused_gaussian_blur_with, fused_sobel_with,
+    };
+    use simdbench_core::scratch::Scratch;
+    use simdbench_core::sobel::SobelDirection;
+
+    let (w, h) = (257, 53); // odd width: scalar tails + SIMD interior
+    let src = synthetic_image(w, h, 163);
+    let kernel = paper_gaussian_kernel();
+    let mut dst_u8 = Image::new(w, h);
+    let mut dst_i16 = Image::new(w, h);
+    let mut scratch = Scratch::new();
+
+    for engine in Engine::ALL {
+        // Cold pass: allowed to allocate (fills the arena).
+        fused_gaussian_blur_with(&src, &mut dst_u8, &kernel, engine, &mut scratch);
+        fused_sobel_with(&src, &mut dst_i16, SobelDirection::X, engine, &mut scratch);
+        fused_sobel_with(&src, &mut dst_i16, SobelDirection::Y, engine, &mut scratch);
+        fused_edge_detect_with(&src, &mut dst_u8, 96, engine, &mut scratch);
+
+        // Warm pass: zero allocations, enforced at the allocator.
+        let n = count_allocs(|| {
+            fused_gaussian_blur_with(&src, &mut dst_u8, &kernel, engine, &mut scratch);
+            fused_sobel_with(&src, &mut dst_i16, SobelDirection::X, engine, &mut scratch);
+            fused_sobel_with(&src, &mut dst_i16, SobelDirection::Y, engine, &mut scratch);
+            fused_edge_detect_with(&src, &mut dst_u8, 96, engine, &mut scratch);
+        });
+        assert_eq!(n, 0, "warm fused calls allocated {n} times ({engine:?})");
+    }
+}

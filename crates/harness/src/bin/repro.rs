@@ -8,6 +8,7 @@
 //! repro asm-analysis           # Section V instruction-stream comparison
 //! repro energy                 # A4 energy-efficiency extension
 //! repro host [--quick] [--full] [--csv FILE]  # AUTO vs HAND on THIS machine
+//! repro fused [--quick] [--full] [--csv FILE] # fused vs two-pass pipeline
 //! repro csv [dir]              # write every table/figure as CSV files
 //! repro all                    # everything except host mode
 //! ```
@@ -33,6 +34,7 @@ fn main() {
         "asm-analysis" => asm_analysis(),
         "energy" => energy(),
         "host" => host_mode(&args[1..]),
+        "fused" => fused_mode(&args[1..]),
         "csv" => {
             let dir = args.get(1).cloned().unwrap_or_else(|| "results".into());
             if let Err(e) = write_csvs(&dir) {
@@ -58,7 +60,7 @@ fn main() {
         other => {
             eprintln!("unknown command: {other}");
             eprintln!(
-                "usage: repro [table1|table2|table3|figure2..figure6|asm-analysis|energy|host|all]"
+                "usage: repro [table1|table2|table3|figure2..figure6|asm-analysis|energy|host|fused|all]"
             );
             std::process::exit(2);
         }
@@ -137,6 +139,75 @@ fn energy() {
             eff,
             classify(&p)
         );
+    }
+}
+
+/// Fused mode: band-tiled fused pipeline vs the two-pass kernels on this
+/// machine, native engine, paper protocol — the A4 locality experiment.
+fn fused_mode(args: &[String]) {
+    use repro_harness::timing::measure_fused;
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let full = args.iter().any(|a| a == "--full");
+    let csv_path = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let config = if quick {
+        HostConfig::quick()
+    } else {
+        HostConfig::default()
+    };
+    let resolutions: &[Resolution] = if full {
+        &Resolution::ALL
+    } else if quick {
+        &[Resolution::Vga]
+    } else {
+        &[Resolution::Vga, Resolution::Mp1]
+    };
+    const STENCILS: [Kernel; 3] = [Kernel::Gaussian, Kernel::Sobel, Kernel::Edge];
+
+    println!("Fused mode: band-tiled fused pipeline vs two-pass (native engine)");
+    println!(
+        "protocol: {} images x {} cycles per point\n",
+        config.images, config.cycles
+    );
+    println!(
+        "{:<10} {:>11} {:>12} {:>12} {:>9}",
+        "kernel", "image", "2-pass (s)", "fused (s)", "speed-up"
+    );
+    let mut csv = String::from("kernel,image,two_pass_seconds,fused_seconds,speedup\n");
+    let engine = host_hand_engine();
+    for &res in resolutions {
+        let work = WorkSet::new(res, config.images);
+        for kernel in STENCILS {
+            let two_pass = measure(kernel, engine, &work, &config);
+            let fused = measure_fused(kernel, engine, &work, &config);
+            println!(
+                "{:<10} {:>11} {:>12.6} {:>12.6} {:>8.2}x",
+                kernel.table3_label(),
+                res.label(),
+                two_pass.seconds,
+                fused.seconds,
+                two_pass.seconds / fused.seconds
+            );
+            csv.push_str(&format!(
+                "{},{},{:.6},{:.6},{:.3}\n",
+                kernel.table3_label(),
+                res.label(),
+                two_pass.seconds,
+                fused.seconds,
+                two_pass.seconds / fused.seconds
+            ));
+        }
+    }
+    if let Some(path) = csv_path {
+        if let Err(e) = std::fs::write(&path, csv) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nwrote {path}");
     }
 }
 

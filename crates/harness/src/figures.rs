@@ -142,7 +142,12 @@ mod tests {
     #[test]
     fn figures_3_to_6_have_smaller_ceilings_than_figure2() {
         let convert_max = figure(Kernel::Convert).max_speedup();
-        for kernel in [Kernel::Threshold, Kernel::Gaussian, Kernel::Sobel, Kernel::Edge] {
+        for kernel in [
+            Kernel::Threshold,
+            Kernel::Gaussian,
+            Kernel::Sobel,
+            Kernel::Edge,
+        ] {
             let fig = figure(kernel);
             assert!(
                 fig.max_speedup() < convert_max,

@@ -50,7 +50,12 @@ pub fn render_table(table: &Table) -> String {
             .join("  ")
     };
     writeln!(out, "{}", fmt_row(&table.header, &widths)).unwrap();
-    writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())).unwrap();
+    writeln!(
+        out,
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    )
+    .unwrap();
     for row in &table.rows {
         writeln!(out, "{}", fmt_row(row, &widths)).unwrap();
     }
@@ -98,11 +103,7 @@ pub fn table1() -> Table {
     }
 }
 
-fn strategy_rows(
-    platforms: &[PlatformSpec],
-    kernel: Kernel,
-    res: Resolution,
-) -> Vec<Vec<String>> {
+fn strategy_rows(platforms: &[PlatformSpec], kernel: Kernel, res: Resolution) -> Vec<Vec<String>> {
     let auto: Vec<f64> = platforms
         .iter()
         .map(|p| predict_seconds(p, kernel, Strategy::Auto, res))

@@ -144,6 +144,76 @@ pub fn measure(
     }
 }
 
+/// Times the band-tiled fused pipeline for one stencil kernel with the
+/// same paper protocol as [`measure`], so fused and two-pass numbers are
+/// directly comparable. The scratch arena persists across runs — after
+/// the warm-up passes the measured loop performs no heap allocations.
+///
+/// Only the stencil kernels (Gaussian, Sobel, Edge) have a fused variant;
+/// the pointwise kernels are returned via [`measure`] unchanged.
+pub fn measure_fused(
+    kernel: Kernel,
+    engine: Engine,
+    work: &WorkSet,
+    config: &HostConfig,
+) -> HostMeasurement {
+    use simdbench_core::kernelgen::paper_gaussian_kernel;
+    use simdbench_core::pipeline::{
+        fused_edge_detect_with, fused_gaussian_blur_with, fused_sobel_with,
+    };
+    use simdbench_core::scratch::Scratch;
+
+    if matches!(kernel, Kernel::Convert | Kernel::Threshold) {
+        return measure(kernel, engine, work, config);
+    }
+
+    let (w, h) = work.resolution.dims();
+    let mut dst_u8 = Image::<u8>::new(w, h);
+    let mut dst_i16 = Image::<i16>::new(w, h);
+    let mut scratch = Scratch::new();
+    let gk = paper_gaussian_kernel();
+
+    let mut run_once = |img_idx: usize| match kernel {
+        Kernel::Gaussian => {
+            fused_gaussian_blur_with(&work.gray[img_idx], &mut dst_u8, &gk, engine, &mut scratch);
+        }
+        Kernel::Sobel => {
+            fused_sobel_with(
+                &work.gray[img_idx],
+                &mut dst_i16,
+                SobelDirection::X,
+                engine,
+                &mut scratch,
+            );
+        }
+        Kernel::Edge => {
+            fused_edge_detect_with(&work.gray[img_idx], &mut dst_u8, 96, engine, &mut scratch);
+        }
+        Kernel::Convert | Kernel::Threshold => unreachable!("handled above"),
+    };
+
+    for i in 0..config.warmup.min(work.gray.len()) {
+        run_once(i);
+    }
+
+    let runs = config.images.min(work.gray.len()) * config.cycles;
+    let start = Instant::now();
+    for _cycle in 0..config.cycles {
+        for img_idx in 0..config.images.min(work.gray.len()) {
+            run_once(img_idx);
+        }
+    }
+    let total = start.elapsed().as_secs_f64();
+
+    HostMeasurement {
+        kernel,
+        engine,
+        resolution: work.resolution,
+        seconds: total / runs as f64,
+        runs,
+    }
+}
+
 /// The host's AUTO engine (compiler auto-vectorized source) — the fair
 /// analogue of the paper's `-O3` builds.
 pub fn host_auto_engine() -> Engine {
@@ -187,6 +257,19 @@ mod tests {
         assert!(min >= -32768.0);
         assert!(max <= 32767.0);
         assert!(max - min > 20000.0, "range {min}..{max}");
+    }
+
+    #[test]
+    fn fused_measurement_produces_sane_numbers() {
+        let work = WorkSet::new(Resolution::Vga, 2);
+        let config = HostConfig::quick();
+        let m = measure_fused(Kernel::Edge, Engine::Native, &work, &config);
+        assert!(m.seconds > 0.0);
+        assert!(m.seconds < 1.0, "VGA fused edge should be far under 1s");
+        assert_eq!(m.runs, 4);
+        // Pointwise kernels route through the plain measurement.
+        let m = measure_fused(Kernel::Threshold, Engine::Native, &work, &config);
+        assert!(m.seconds > 0.0);
     }
 
     #[test]

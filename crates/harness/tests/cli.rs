@@ -77,6 +77,29 @@ fn repro_csv_writes_all_files() {
 }
 
 #[test]
+fn repro_fused_quick_reports_speedups() {
+    let dir = temp_dir("fused");
+    let csv = dir.join("fused.csv");
+    let out = repro()
+        .args(["fused", "--quick", "--csv", csv.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("fused"));
+    assert!(text.contains("speed-up"));
+    let csv_text = std::fs::read_to_string(&csv).unwrap();
+    // Header + the three stencil kernels at VGA.
+    assert_eq!(csv_text.lines().count(), 4);
+    assert!(csv_text.starts_with("kernel,image,two_pass_seconds,fused_seconds,speedup"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn repro_rejects_unknown_command() {
     let out = repro().arg("bogus").output().unwrap();
     assert!(!out.status.success());
@@ -89,7 +112,11 @@ fn imgtool_demo_then_pipeline_roundtrip() {
     let dir = temp_dir("imgtool");
     // Generate synthetic photos.
     let out = imgtool().arg("demo").arg(&dir).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let photo = dir.join("photo0.bmp");
     assert!(photo.exists());
 
@@ -100,7 +127,11 @@ fn imgtool_demo_then_pipeline_roundtrip() {
         .args(["--sigma", "1.5", "--ksize", "9"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // Edge-detect the blurred image with the simulated NEON backend.
     let edges = dir.join("edges.bmp");
@@ -109,7 +140,11 @@ fn imgtool_demo_then_pipeline_roundtrip() {
         .args(["--thresh", "80", "--engine", "neon-sim"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // The edge map decodes as a binary BMP of the same size.
     let bytes = std::fs::read(&edges).unwrap();

@@ -85,10 +85,10 @@ mod tests {
     #[test]
     fn f32_to_i16_uses_cv_round() {
         let f = Image::<f32>::from_fn(4, 1, |x, _| match x {
-            0 => 0.5,   // ties to even -> 0
-            1 => 1.5,   // -> 2
-            2 => 4e4,   // saturates
-            _ => -4e4,  // saturates
+            0 => 0.5,  // ties to even -> 0
+            1 => 1.5,  // -> 2
+            2 => 4e4,  // saturates
+            _ => -4e4, // saturates
         });
         assert_eq!(f32_to_i16(&f).row(0), &[0, 2, i16::MAX, i16::MIN]);
     }

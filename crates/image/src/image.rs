@@ -188,16 +188,10 @@ impl<T: Pod> Image<T> {
         let data = self.data.as_mut_slice();
         if y0 < y1 {
             let (a, b) = data.split_at_mut(y1 * stride);
-            (
-                &mut a[y0 * stride..y0 * stride + width],
-                &mut b[..width],
-            )
+            (&mut a[y0 * stride..y0 * stride + width], &mut b[..width])
         } else {
             let (a, b) = data.split_at_mut(y0 * stride);
-            (
-                &mut b[..width],
-                &mut a[y1 * stride..y1 * stride + width],
-            )
+            (&mut b[..width], &mut a[y1 * stride..y1 * stride + width])
         }
     }
 

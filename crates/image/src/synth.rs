@@ -59,8 +59,19 @@ impl ValueNoise {
 
 #[derive(Clone, Copy)]
 enum Shape {
-    Disc { cx: f32, cy: f32, r: f32, level: f32 },
-    Rect { x0: f32, y0: f32, x1: f32, y1: f32, level: f32 },
+    Disc {
+        cx: f32,
+        cy: f32,
+        r: f32,
+        level: f32,
+    },
+    Rect {
+        x0: f32,
+        y0: f32,
+        x1: f32,
+        y1: f32,
+        level: f32,
+    },
 }
 
 impl Shape {
@@ -148,9 +159,7 @@ pub fn synthetic_image_f32(width: usize, height: usize, seed: u64) -> Image<f32>
     Image::from_fn(width, height, |x, y| {
         let xf = x as f32;
         let yf = y as f32;
-        let mut v = base
-            + tilt_x * (xf / width as f32 - 0.5)
-            + tilt_y * (yf / height as f32 - 0.5);
+        let mut v = base + tilt_x * (xf / width as f32 - 0.5) + tilt_y * (yf / height as f32 - 0.5);
         let dx = xf - spot_x;
         let dy = yf - spot_y;
         let d2 = (dx * dx + dy * dy) * inv_spot_r2;

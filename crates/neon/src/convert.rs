@@ -42,24 +42,18 @@ pub fn vcvtq_f32_u32(a: uint32x4_t) -> float32x4_t {
 #[inline]
 pub fn vcvtq_u32_f32(a: float32x4_t) -> uint32x4_t {
     count(OpClass::SimdConvert);
-    a.map(|v| {
-        if v.is_nan() {
-            0.0
-        } else {
-            v
-        }
-    })
-    .to_array()
-    .map(|v| {
-        if v <= 0.0 {
-            0u32
-        } else if v >= u32::MAX as f32 {
-            u32::MAX
-        } else {
-            v as u32
-        }
-    })
-    .into()
+    a.map(|v| if v.is_nan() { 0.0 } else { v })
+        .to_array()
+        .map(|v| {
+            if v <= 0.0 {
+                0u32
+            } else if v >= u32::MAX as f32 {
+                u32::MAX
+            } else {
+                v as u32
+            }
+        })
+        .into()
 }
 
 /// `vcvt.f32.s32 q, #n` — fixed-point word to float with `n` fractional
@@ -100,14 +94,8 @@ mod tests {
     #[test]
     fn neon_saturates_where_sse_goes_indefinite() {
         let v = float32x4_t::new([3e9, -3e9, f32::NAN, 7.0]);
-        assert_eq!(
-            vcvtq_s32_f32(v).to_array(),
-            [i32::MAX, i32::MIN, 0, 7]
-        );
-        assert_eq!(
-            vcvtnq_s32_f32(v).to_array(),
-            [i32::MAX, i32::MIN, 0, 7]
-        );
+        assert_eq!(vcvtq_s32_f32(v).to_array(), [i32::MAX, i32::MIN, 0, 7]);
+        assert_eq!(vcvtnq_s32_f32(v).to_array(), [i32::MAX, i32::MIN, 0, 7]);
     }
 
     #[test]
@@ -119,14 +107,8 @@ mod tests {
 
     #[test]
     fn int_to_float() {
-        assert_eq!(
-            vcvtq_f32_s32(vdupq_n_s32(-42)).to_array(),
-            [-42.0; 4]
-        );
-        assert_eq!(
-            vcvtq_f32_u32(vdupq_n_u32(42)).to_array(),
-            [42.0; 4]
-        );
+        assert_eq!(vcvtq_f32_s32(vdupq_n_s32(-42)).to_array(), [-42.0; 4]);
+        assert_eq!(vcvtq_f32_u32(vdupq_n_u32(42)).to_array(), [42.0; 4]);
     }
 
     #[test]

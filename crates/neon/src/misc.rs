@@ -176,7 +176,12 @@ pub fn vzipq_s16(a: int16x8_t, b: int16x8_t) -> int16x8x2_t {
 #[inline]
 pub fn vuzpq_s16(a: int16x8_t, b: int16x8_t) -> int16x8x2_t {
     count(OpClass::SimdAlu);
-    let all: Vec<i16> = a.to_array().iter().chain(b.to_array().iter()).copied().collect();
+    let all: Vec<i16> = a
+        .to_array()
+        .iter()
+        .chain(b.to_array().iter())
+        .copied()
+        .collect();
     let mut even = [0i16; 8];
     let mut odd = [0i16; 8];
     for i in 0..8 {
@@ -228,17 +233,9 @@ mod tests {
         assert_eq!(&r.to_array()[13..], &[99, 99, 99]);
         let zero_ext = vextq_u8(a, b, 0);
         assert_eq!(zero_ext, a);
-        let s = vextq_s16(
-            int16x8_t::new([0, 1, 2, 3, 4, 5, 6, 7]),
-            vdupq_n_s16(-1),
-            6,
-        );
+        let s = vextq_s16(int16x8_t::new([0, 1, 2, 3, 4, 5, 6, 7]), vdupq_n_s16(-1), 6);
         assert_eq!(s.to_array(), [6, 7, -1, -1, -1, -1, -1, -1]);
-        let f = vextq_f32(
-            float32x4_t::new([0.0, 1.0, 2.0, 3.0]),
-            vdupq_n_f32(9.0),
-            1,
-        );
+        let f = vextq_f32(float32x4_t::new([0.0, 1.0, 2.0, 3.0]), vdupq_n_f32(9.0), 1);
         assert_eq!(f.to_array(), [1.0, 2.0, 3.0, 9.0]);
     }
 

@@ -145,10 +145,7 @@ mod tests {
     fn movn_truncates_movl_widens() {
         let v = uint16x8_t::new([0x1FF, 0x100, 0xFF, 1, 2, 3, 4, 5]);
         assert_eq!(vmovn_u16(v).to_array(), [0xFF, 0, 0xFF, 1, 2, 3, 4, 5]);
-        assert_eq!(
-            vqmovn_u16(v).to_array(),
-            [255, 255, 255, 1, 2, 3, 4, 5]
-        );
+        assert_eq!(vqmovn_u16(v).to_array(), [255, 255, 255, 1, 2, 3, 4, 5]);
         let b = uint8x8_t::new([0, 1, 127, 128, 200, 255, 7, 9]);
         assert_eq!(vmovl_u8(b).to_array(), [0, 1, 127, 128, 200, 255, 7, 9]);
         assert_eq!(vmovl_u8_as_s16(b).lane(5), 255i16);

@@ -159,10 +159,7 @@ mod tests {
     fn plain_shifts() {
         assert_eq!(vshlq_n_s16(vdupq_n_s16(3), 4).lane(0), 48);
         assert_eq!(vshrq_n_s16(vdupq_n_s16(-16), 2).lane(0), -4);
-        assert_eq!(
-            vshrq_n_u16(uint16x8_t::splat(0x8000), 15).lane(0),
-            1
-        );
+        assert_eq!(vshrq_n_u16(uint16x8_t::splat(0x8000), 15).lane(0), 1);
         assert_eq!(vshrq_n_u8(vdupq_n_u8(0xFF), 4).lane(0), 0x0F);
         assert_eq!(vshlq_n_s32(vdupq_n_s32(1), 20).lane(0), 1 << 20);
         assert_eq!(vshrq_n_s32(vdupq_n_s32(-64), 3).lane(0), -8);

@@ -41,9 +41,7 @@ impl AutovecOutcome {
             AutovecOutcome::ScalarInlineSimdRound => {
                 "scalar loop, cvRound inlined as _mm_set_sd/_mm_cvtsd_si32"
             }
-            AutovecOutcome::ScalarBranchy => {
-                "scalar loop, data-dependent branch not if-converted"
-            }
+            AutovecOutcome::ScalarBranchy => "scalar loop, data-dependent branch not if-converted",
             AutovecOutcome::ScalarTapLoop => {
                 "scalar multiply-accumulate taps, windows not blocked by vector width"
             }
@@ -105,7 +103,12 @@ mod tests {
     fn convert_differs_by_isa_only() {
         // The paper's gcc treats both groups alike except where the source
         // itself is ISA-conditional (the cvRound #ifdef).
-        for kernel in [Kernel::Threshold, Kernel::Gaussian, Kernel::Sobel, Kernel::Edge] {
+        for kernel in [
+            Kernel::Threshold,
+            Kernel::Gaussian,
+            Kernel::Sobel,
+            Kernel::Edge,
+        ] {
             assert_eq!(outcome(kernel, Isa::Sse2), outcome(kernel, Isa::Neon));
         }
         assert_ne!(
@@ -122,8 +125,7 @@ mod tests {
             AutovecOutcome::ScalarBranchy,
             AutovecOutcome::ScalarTapLoop,
         ];
-        let set: std::collections::HashSet<_> =
-            all.iter().map(|o| o.description()).collect();
+        let set: std::collections::HashSet<_> = all.iter().map(|o| o.description()).collect();
         assert_eq!(set.len(), all.len());
     }
 }

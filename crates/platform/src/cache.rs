@@ -236,10 +236,7 @@ mod tests {
         // traffic.
         let mut cache = Cache::new(4, 4, 64);
         let traffic = filter_vertical_traffic(&mut cache, 640, 64, 2, 7);
-        assert!(
-            traffic > 10.0,
-            "expected thrashing traffic, got {traffic}"
-        );
+        assert!(traffic > 10.0, "expected thrashing traffic, got {traffic}");
     }
 }
 
@@ -348,7 +345,11 @@ mod hierarchy_tests {
             }
         }
         assert_eq!(h.dram_accesses(), lines); // compulsory only
-        assert!(h.l2_hits() >= 3 * lines - lines / 10, "l2 hits {}", h.l2_hits());
+        assert!(
+            h.l2_hits() >= 3 * lines - lines / 10,
+            "l2 hits {}",
+            h.l2_hits()
+        );
     }
 
     #[test]

@@ -63,10 +63,8 @@ mod tests {
     #[test]
     fn hand_is_more_energy_efficient_than_auto() {
         for p in all_platforms() {
-            let hand =
-                megapixels_per_joule(&p, Kernel::Convert, Strategy::Hand, Resolution::Mp8);
-            let auto =
-                megapixels_per_joule(&p, Kernel::Convert, Strategy::Auto, Resolution::Mp8);
+            let hand = megapixels_per_joule(&p, Kernel::Convert, Strategy::Hand, Resolution::Mp8);
+            let auto = megapixels_per_joule(&p, Kernel::Convert, Strategy::Auto, Resolution::Mp8);
             assert!(hand >= auto, "{}", p.short);
         }
     }

@@ -38,8 +38,7 @@ pub fn compute_cycles_per_pixel(mix: &PixelMix, p: &PlatformSpec) -> f64 {
             let addr = mix.get(OpClass::AddrArith);
             // Load-use delays bite on scalar pointer-chasing code; the SIMD
             // streaming loads pipeline behind the wide loads/prefetchers.
-            let scalar_mem =
-                mix.get(OpClass::ScalarLoad) + mix.get(OpClass::ScalarStore);
+            let scalar_mem = mix.get(OpClass::ScalarLoad) + mix.get(OpClass::ScalarStore);
             let stalls = scalar_mem * p.load_use_stall;
             (simd + scalar + addr + branch + stalls) * IN_ORDER_BUBBLE_FACTOR + libcall
         }
@@ -64,11 +63,7 @@ pub enum Bound {
 /// Out-of-order cores overlap computation with outstanding misses, so total
 /// ≈ max(compute, memory) with a small interference term. In-order cores
 /// expose most of the memory time: total ≈ compute + 80 % of memory.
-pub fn total_cycles_per_pixel(
-    compute_cpp: f64,
-    dram_cpp: f64,
-    p: &PlatformSpec,
-) -> (f64, Bound) {
+pub fn total_cycles_per_pixel(compute_cpp: f64, dram_cpp: f64, p: &PlatformSpec) -> (f64, Bound) {
     let total = match p.uarch {
         Microarch::InOrder => compute_cpp + 0.6 * dram_cpp,
         Microarch::OutOfOrder { .. } => {

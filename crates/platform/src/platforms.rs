@@ -30,9 +30,9 @@ pub fn all_platforms() -> Vec<PlatformSpec> {
 /// Looks a platform up by its short label or full name (case-insensitive).
 pub fn platform_by_name(name: &str) -> Option<PlatformSpec> {
     let needle = name.to_ascii_lowercase();
-    all_platforms().into_iter().find(|p| {
-        p.short.to_ascii_lowercase() == needle || p.name.to_ascii_lowercase() == needle
-    })
+    all_platforms()
+        .into_iter()
+        .find(|p| p.short.to_ascii_lowercase() == needle || p.name.to_ascii_lowercase() == needle)
 }
 
 /// Intel Atom D510 "Pineview" — the in-order embedded x86 part. Dual-issue
@@ -366,10 +366,7 @@ mod tests {
     #[test]
     fn in_order_parts_are_atom_and_a8() {
         for p in all_platforms() {
-            let expect_in_order = matches!(
-                p.short,
-                "Atom-D510" | "DM3730" | "Exynos-3110"
-            );
+            let expect_in_order = matches!(p.short, "Atom-D510" | "DM3730" | "Exynos-3110");
             assert_eq!(p.uarch.is_in_order(), expect_in_order, "{}", p.name);
         }
     }

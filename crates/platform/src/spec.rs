@@ -138,6 +138,19 @@ impl PlatformSpec {
     pub fn is_arm(&self) -> bool {
         self.isa == Isa::Neon
     }
+
+    /// Band plan for the fused pipeline, sized from this platform's real
+    /// cache description (Table I) instead of the pipeline's defaults.
+    /// L2 shared between cores (the Cortex-A9 parts) is divided across
+    /// them, since each core processes its own bands concurrently.
+    pub fn band_plan(&self, width: usize) -> simdbench_core::pipeline::BandPlan {
+        let l2_per_core = (self.l2_kb as usize * 1024) / (self.cores as usize).max(1);
+        simdbench_core::pipeline::BandPlan::for_cache(
+            width,
+            self.l1d_kb as usize * 1024,
+            l2_per_core.max(64 * 1024),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +188,17 @@ mod tests {
         let p = sample();
         // 8 GB/s at 2 GHz: 0.25 cycles per byte.
         assert!((p.dram_cycles_per_byte() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn band_plan_divides_shared_l2_across_cores() {
+        let p = sample();
+        let plan = p.band_plan(1280);
+        // 1 MiB / 4 cores = 256 KiB per core; half of it over 3840 B rows.
+        assert_eq!(plan.band_rows, (128 * 1024) / (1280 * 3));
+        // A single-core variant of the same cache sees taller bands.
+        let single = PlatformSpec { cores: 1, ..p };
+        assert!(single.band_plan(1280).band_rows >= plan.band_rows);
     }
 
     #[test]

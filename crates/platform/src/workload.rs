@@ -351,7 +351,10 @@ pub fn auto_mix(kernel: Kernel, isa: Isa) -> PixelMix {
                 (Branch, 1.0),
             ]);
             let threshold = auto_mix(Kernel::Threshold, isa);
-            sobel.plus(&sobel.scaled(0.55)).plus(&magnitude).plus(&threshold)
+            sobel
+                .plus(&sobel.scaled(0.55))
+                .plus(&magnitude)
+                .plus(&threshold)
         }
     }
 }
@@ -405,12 +408,20 @@ mod tests {
         // 8 SIMD ops per 8 pixels: 2 loads, 4 converts (2 cvt + 2 narrow),
         // 1 combine, 1 store.
         let mix = hand_mix(Kernel::Convert, Isa::Neon);
-        assert!((mix.simd_total() - 1.0).abs() < 0.05, "{}", mix.simd_total());
+        assert!(
+            (mix.simd_total() - 1.0).abs() < 0.05,
+            "{}",
+            mix.simd_total()
+        );
         // Plus ~6 overhead ops per 8 pixels.
         let overhead = mix.get(OpClass::AddrArith) + mix.get(OpClass::Branch);
         assert!((overhead - 6.0 / 8.0).abs() < 0.05, "{overhead}");
         // Total ~14 ops per 8 pixels.
-        assert!((mix.total() * 8.0 - 14.0).abs() < 0.6, "{}", mix.total() * 8.0);
+        assert!(
+            (mix.total() * 8.0 - 14.0).abs() < 0.6,
+            "{}",
+            mix.total() * 8.0
+        );
     }
 
     #[test]

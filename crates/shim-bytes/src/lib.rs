@@ -1,0 +1,176 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides exactly the subset the BMP codec uses: a growable
+//! [`BytesMut`] writer with little-endian `put_*` methods, the [`Buf`]
+//! reader trait implemented for `&[u8]`, and the [`BufMut`] marker trait.
+//! Semantics match the real crate for this subset (including the panics on
+//! reading past the end of a slice — byte slices panic on out-of-range
+//! indexing just as the real `Buf` impl does).
+
+/// Read access to a contiguous byte cursor.
+///
+/// Implemented for `&[u8]`: each getter consumes from the front of the
+/// slice, advancing it in place.
+pub trait Buf {
+    /// Advances the cursor by `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+    /// Reads one `u8`.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Reads a little-endian `i32`.
+    fn get_i32_le(&mut self) -> i32;
+    /// Remaining bytes.
+    fn remaining(&self) -> usize;
+}
+
+impl Buf for &[u8] {
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        self.advance(1);
+        v
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let v = u16::from_le_bytes([self[0], self[1]]);
+        self.advance(2);
+        v
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes([self[0], self[1], self[2], self[3]]);
+        self.advance(4);
+        v
+    }
+
+    fn get_i32_le(&mut self) -> i32 {
+        self.get_u32_le() as i32
+    }
+
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+}
+
+/// Write access to a growable byte buffer. As in the real crate, the
+/// `put_*` writers live on this trait (not as inherent [`BytesMut`]
+/// methods), so writers must `use bytes::BufMut`.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends `cnt` copies of `val`.
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        for _ in 0..cnt {
+            self.put_u8(val);
+        }
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i32`.
+    fn put_i32_le(&mut self, v: i32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// A growable byte buffer, backed by `Vec<u8>`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bytes written.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when no bytes have been written.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Copies the contents out as a plain `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.inner.resize(self.inner.len() + cnt, val);
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.inner
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_slice(b"BM");
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_u16_le(0x1234);
+        b.put_i32_le(-7);
+        b.put_u8(9);
+        b.put_bytes(0, 3);
+        let v = b.to_vec();
+        let mut r: &[u8] = &v;
+        r.advance(2);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u16_le(), 0x1234);
+        assert_eq!(r.get_i32_le(), -7);
+        assert_eq!(r.get_u8(), 9);
+        assert_eq!(r.remaining(), 3);
+    }
+}

@@ -1,0 +1,326 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A real wall-clock benchmark runner with the API subset this
+//! workspace's benches use: `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, throughput, bench_function,
+//! bench_with_input, finish}`, `BenchmarkId::new`, `Throughput::Elements`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Differences from upstream: no statistical outlier analysis, no HTML
+//! reports, no `target/criterion` state between runs. Each benchmark is
+//! warmed up, iteration count is calibrated so one sample takes a fixed
+//! wall-clock slice, then `sample_size` samples are collected and the
+//! median / mean / min are printed together with element throughput when
+//! a `Throughput` was set. Command-line arguments (e.g. a filter passed
+//! by `cargo bench -- <filter>`) select benchmarks by substring match.
+
+use std::fmt::Write as _;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity (`criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Measurement normalisation declared for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (for this workspace: pixels) processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier (`function / parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and parameter label.
+    pub fn new(function: impl ToString, parameter: impl ToString) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("{}/{}", self.function, self.parameter)
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `f`, consuming each return value
+    /// through [`black_box`] so the work is not optimised away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark context.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First free argument (not a flag, not the binary name) acts as a
+        // substring filter, matching `cargo bench -- <filter>` usage.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.is_empty());
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl ToString) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+            throughput: None,
+            header_printed: false,
+        }
+    }
+
+    fn matches(&self, full_label: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_label.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    header_printed: bool,
+}
+
+/// Wall-clock budget for one measured sample.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(25);
+/// Wall-clock budget for the warmup phase of each benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(150);
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark identified by a plain string.
+    pub fn bench_function<F>(&mut self, id: impl ToString, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        self.run(&id, &mut f);
+        self
+    }
+
+    /// Runs a benchmark identified by a [`BenchmarkId`], passing `input`
+    /// through to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.label();
+        self.run(&label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream finalises reports here; the shim prints
+    /// incrementally, so this is a terminator for API compatibility).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let full_label = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full_label) {
+            return;
+        }
+        if !self.header_printed {
+            println!("\nbenchmark group: {}", self.name);
+            self.header_printed = true;
+        }
+
+        // Warmup + calibration: grow the iteration count until one batch
+        // costs at least SAMPLE_BUDGET, warming caches and branch
+        // predictors along the way.
+        let mut iters: u64 = 1;
+        let warmup_start = Instant::now();
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= SAMPLE_BUDGET || warmup_start.elapsed() >= WARMUP_BUDGET {
+                break;
+            }
+            // Aim directly for the budget, with headroom for timer noise.
+            let per_iter = b.elapsed.max(Duration::from_nanos(1)) / iters as u32;
+            let target = (SAMPLE_BUDGET.as_nanos() / per_iter.as_nanos().max(1)) as u64;
+            iters = target.clamp(iters + 1, iters.saturating_mul(16));
+        }
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = samples_ns[samples_ns.len() / 2];
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let min = samples_ns[0];
+
+        let mut line = format!(
+            "  {full_label:<44} median {} | mean {} | min {}",
+            fmt_ns(median),
+            fmt_ns(mean),
+            fmt_ns(min)
+        );
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "Melem/s"),
+                Throughput::Bytes(n) => (n, "MB/s"),
+            };
+            let rate = count as f64 / median * 1e9 / 1e6;
+            let _ = write!(line, " | {rate:.1} {unit}");
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Bundles benchmark functions into a runner (`criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        pub fn $group_name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups (`criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group_name:path),+ $(,)?) => {
+        fn main() {
+            $($group_name();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_real_work() {
+        let mut b = Bencher {
+            iters: 1000,
+            elapsed: Duration::ZERO,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            acc
+        });
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn group_runs_benchmarks_and_respects_ids() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("shim_selftest");
+        let mut runs = 0usize;
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(64));
+        group.bench_function("inline", |b| {
+            b.iter(|| black_box(2u32 + 2));
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", "x"), &21u64, |b, &v| {
+            runs += 1;
+            b.iter(|| black_box(v * 2));
+        });
+        group.finish();
+        assert!(runs >= 1, "bench_with_input closure never ran");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("nope".into()),
+        };
+        let mut group = c.benchmark_group("other");
+        let mut ran = false;
+        group.bench_function("skipped", |_b| {
+            ran = true;
+        });
+        group.finish();
+        assert!(!ran, "filtered benchmark should not run");
+    }
+
+    #[test]
+    fn format_scales_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("us"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2_000_000_000.0).ends_with(" s"));
+    }
+}

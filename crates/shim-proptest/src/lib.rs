@@ -1,0 +1,516 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`Strategy`] trait over ranges / [`Just`] / [`any`] / tuples of those,
+//! `prop::collection::vec`, the `proptest!`, `prop_oneof!`,
+//! `prop_assert!` and `prop_assert_eq!` macros, and [`ProptestConfig`].
+//!
+//! Differences from upstream, deliberate for an offline, deterministic
+//! build environment:
+//!
+//! * **No shrinking.** A failing case panics with the generated values
+//!   printed; the generator is fully deterministic (seeded from the test
+//!   name), so every failure reproduces exactly on re-run.
+//! * **No persistence.** `*.proptest-regressions` files are not read or
+//!   written — regressions worth keeping must be pinned as explicit unit
+//!   tests (see `tests/proptests.rs` for the convert-domain example).
+//! * **Edge-biased generation.** Each strategy mixes uniform samples with
+//!   domain edge values (range endpoints, 0, MIN/MAX) at a fixed ratio,
+//!   standing in for upstream's bias toward problematic inputs.
+
+use std::ops::Range;
+
+/// Deterministic generator driving every strategy (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from a test identifier and case index.
+    pub fn new(test_id: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_id.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// True roughly once per `n` calls — used for edge-value injection.
+    pub fn one_in(&mut self, n: u64) -> bool {
+        self.below(n) == 0
+    }
+}
+
+/// Error carried out of a failing property body.
+#[derive(Debug)]
+pub struct TestCaseError {
+    /// Human-readable failure description.
+    pub message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: String) -> Self {
+        TestCaseError { message }
+    }
+}
+
+/// Result type property bodies evaluate to.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (`ProptestConfig` subset).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A value generator. `impl Strategy<Value = T>` is the composition
+/// currency, exactly as upstream.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erases the strategy for heterogeneous composition
+    /// (`prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// Blanket impl so `&strategy` composes like upstream.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(#[allow(clippy::type_complexity)] Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T: std::fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Strategy yielding a constant.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy (`Arbitrary` subset).
+pub trait Arbitrary: std::fmt::Debug + Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                if rng.one_in(8) {
+                    // Edge injection: extremes and zero.
+                    match rng.below(3) {
+                        0 => <$t>::MIN,
+                        1 => <$t>::MAX,
+                        _ => 0,
+                    }
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> [T; N] {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+/// Whole-domain strategy for `T` (the `any::<T>()` entry point).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                if rng.one_in(8) {
+                    // Edge injection: endpoints.
+                    if rng.next_u64() & 1 == 0 {
+                        return self.start;
+                    }
+                    return self.end - 1;
+                }
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_int_range!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        if rng.one_in(8) {
+            // Edge injection: endpoints and zero (when in range).
+            return match rng.below(3) {
+                0 => self.start,
+                1 if self.contains(&0.0) => 0.0,
+                _ => {
+                    // Largest representable value strictly below `end`.
+                    let e = self.end;
+                    let below = f32::from_bits(if e > 0.0 {
+                        e.to_bits() - 1
+                    } else {
+                        e.to_bits() + 1
+                    });
+                    below.max(self.start)
+                }
+            };
+        }
+        let v = self.start as f64 + rng.unit_f64() * (self.end as f64 - self.start as f64);
+        (v as f32).clamp(
+            self.start,
+            f32::from_bits(self.end.to_bits().wrapping_sub(1)),
+        )
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let v = self.start + rng.unit_f64() * (self.end - self.start);
+        v.min(self.end - self.end.abs() * f64::EPSILON)
+    }
+}
+
+/// A uniform choice between type-erased alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: std::fmt::Debug> Union<T> {
+    /// Builds a union; panics on an empty option list.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T: std::fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Collection strategies (`prop::collection` subset).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, length_range)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `proptest::prop` facade module.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Runs one property over `cases` generated inputs.
+///
+/// Used by the `proptest!` macro expansion; public so the macro can reach
+/// it from other crates.
+pub fn run_property<F>(test_id: &str, config: &ProptestConfig, mut case_fn: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), (TestCaseError, String)>,
+{
+    for case in 0..config.cases as u64 {
+        let mut rng = TestRng::new(test_id, case);
+        if let Err((err, values)) = case_fn(&mut rng) {
+            panic!(
+                "property '{test_id}' failed at case {case}:\n  {}\n  inputs: {values}\n  \
+                 (deterministic: re-running reproduces this case)",
+                err.message
+            );
+        }
+    }
+}
+
+/// Declares property tests. Mirrors upstream's `proptest!` surface for the
+/// shapes used in this workspace.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let test_id = concat!(module_path!(), "::", stringify!($name));
+                $crate::run_property(test_id, &config, |rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), rng);)+
+                    let values = format!(
+                        concat!($(stringify!($arg), " = {:?}; ",)+),
+                        $(&$arg),+
+                    );
+                    let body_result: $crate::TestCaseResult = (move || {
+                        $body
+                        Ok(())
+                    })();
+                    body_result.map_err(|e| (e, values))
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Asserts a condition inside a property body (fails the case, does not
+/// panic directly, mirroring upstream).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n  right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} ({})\n  left: {:?}\n  right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Glob-import module mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy,
+        Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_test_id() {
+        let mut a = crate::TestRng::new("x", 0);
+        let mut b = crate::TestRng::new("x", 0);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::TestRng::new("y", 0);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::new("bounds", 1);
+        for _ in 0..10_000 {
+            let v = Strategy::generate(&(10i32..20), &mut rng);
+            assert!((10..20).contains(&v));
+            let f = Strategy::generate(&(-2.0e9f32..2.0e9), &mut rng);
+            assert!((-2.0e9..2.0e9).contains(&f), "{f}");
+            let u = Strategy::generate(&(1usize..40), &mut rng);
+            assert!((1..40).contains(&u));
+        }
+    }
+
+    #[test]
+    fn oneof_only_yields_member_values() {
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = crate::TestRng::new("oneof", 2);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!((1..=3).contains(&v));
+            seen[v as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3], "union not covering");
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let strat = prop::collection::vec(0u8..255, 0..100);
+        let mut rng = crate::TestRng::new("vec", 3);
+        for _ in 0..500 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!(v.len() < 100);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_generates_and_asserts(a in 0u32..50, b in 0u32..50) {
+            prop_assert!(a < 50);
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn macro_supports_trailing_comma(
+            v in prop::collection::vec(any::<u8>(), 0..10),
+        ) {
+            prop_assert!(v.len() < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failing_property_panics_with_inputs() {
+        crate::run_property("always_fails", &ProptestConfig::with_cases(4), |rng| {
+            let v = Strategy::generate(&(0u8..10), rng);
+            let values = format!("v = {v:?}");
+            let r: TestCaseResult = (move || {
+                prop_assert!(v > 100, "forced failure");
+                Ok(())
+            })();
+            r.map_err(|e| (e, values))
+        });
+    }
+}

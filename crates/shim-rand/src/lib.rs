@@ -1,0 +1,245 @@
+//! Offline stand-in for the `rand` crate (0.8-style API surface).
+//!
+//! Implements the subset this workspace uses — `StdRng::seed_from_u64`,
+//! `gen`, `gen_range`, `gen_bool`, `fill` — over a SplitMix64 core. The
+//! stream differs from upstream `rand`'s ChaCha-based `StdRng`, which is
+//! fine here: every consumer treats the generator as an arbitrary
+//! deterministic source (synthetic images are compared engine-vs-engine,
+//! never against golden pixel values), and determinism per seed is
+//! preserved across runs and platforms.
+
+use std::ops::Range;
+
+/// Minimal core trait: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Next 64 uniform random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniform random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface (`rand::SeedableRng` subset).
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types producible by [`Rng::gen`] (the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Samples one value from the full domain of the type.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// Types with a uniform range sampler (`rand::distributions::uniform::SampleUniform` subset).
+pub trait SampleUniform: Sized {
+    /// Samples uniformly from the half-open range `[start, end)`.
+    fn sample_range<R: RngCore + ?Sized>(start: Self, end: Self, rng: &mut R) -> Self;
+}
+
+/// Types usable as the argument of [`Rng::gen_range`].
+///
+/// The single blanket impl over `Range<T>` (rather than one impl per
+/// element type) matters for inference: it lets the element type of an
+/// unsuffixed float literal range be fixed by how the sampled value is
+/// used, exactly as upstream.
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty gen_range");
+        T::sample_range(self.start, self.end, rng)
+    }
+}
+
+/// The user-facing generator interface (`rand::Rng` subset).
+pub trait Rng: RngCore {
+    /// Samples a value of `T` from its full domain.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open, like `rand` 0.8).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// True with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of [0,1]");
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+
+    /// Fills a byte buffer with uniform bytes.
+    fn fill(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)`, 24 bits of precision (as upstream).
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)`, 53 bits of precision (as upstream).
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl<T: Standard, const N: usize> Standard for [T; N] {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> [T; N] {
+        std::array::from_fn(|_| T::sample(rng))
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(start: $t, end: $t, rng: &mut R) -> $t {
+                let span = (end as i128 - start as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (start as i128 + v) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(start: f32, end: f32, rng: &mut R) -> f32 {
+        start + f32::sample(rng) * (end - start)
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(start: f64, end: f64, rng: &mut R) -> f64 {
+        start + f64::sample(rng) * (end - start)
+    }
+}
+
+/// Named RNG types (`rand::rngs` subset).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic generator: SplitMix64 (Steele, Lea & Flood 2014).
+    ///
+    /// Not the upstream ChaCha12 `StdRng` — see the crate docs for why
+    /// that is acceptable here.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v: i32 = rng.gen_range(6..12);
+            assert!((6..12).contains(&v));
+            let f: f32 = rng.gen_range(-40.0f32..40.0);
+            assert!((-40.0..40.0).contains(&f));
+            let u: usize = rng.gen_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let d: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn fill_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        rng.fill(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn arrays_sample_elementwise() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a: [i32; 4] = rng.gen();
+        let b: [i32; 4] = rng.gen();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,309 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the subset this workspace uses — `Vec::into_par_iter()` /
+//! `Range::into_par_iter()` with `.enumerate()` and `.for_each()`, plus
+//! `ThreadPoolBuilder`/`ThreadPool::install` and `current_num_threads` —
+//! over `std::thread::scope`. Work is split into one contiguous chunk per
+//! worker (band decomposition), not work-stealing; for the row/band
+//! parallel image kernels in this workspace the chunks are uniform, so
+//! static splitting matches rayon's behaviour closely enough for both
+//! correctness (bit-exactness is index-based, not schedule-based) and the
+//! parallel-scaling experiment.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel iterators will use on this thread.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|t| match t.get() {
+        Some(n) => n,
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    })
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default (host) parallelism.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker-thread count (0 = host parallelism, as rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool. Infallible here; `Result` mirrors rayon's API.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self
+                .num_threads
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())),
+        })
+    }
+}
+
+/// Error type mirroring rayon's (never produced by this shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A configured degree of parallelism. Unlike rayon there are no persistent
+/// workers; `install` scopes the configured width over the closure, and the
+/// scoped threads are spawned per parallel call.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count governing parallel iterators.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        INSTALLED_THREADS.with(|t| {
+            let prev = t.replace(Some(self.threads));
+            let out = f();
+            t.set(prev);
+            out
+        })
+    }
+
+    /// The configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Types convertible into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// The parallel-iterator operations this workspace uses.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Consumes the iterator, applying `f` to every element in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync;
+
+    /// Pairs every element with its index (indices are assigned in the
+    /// original order, independent of the execution schedule).
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self }
+    }
+}
+
+/// Parallel iterator over an owned `Vec`.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> VecParIter<T> {
+    /// Runs `f(index, item)` over all items with static chunking.
+    fn drive<F>(self, f: F)
+    where
+        F: Fn(usize, T) + Send + Sync,
+    {
+        let mut items = self.items;
+        let threads = current_num_threads().max(1);
+        if threads == 1 || items.len() <= 1 {
+            for (i, item) in items.into_iter().enumerate() {
+                f(i, item);
+            }
+            return;
+        }
+        let chunk = items.len().div_ceil(threads);
+        // Peel chunks off the front, remembering each chunk's base index.
+        let mut chunks: Vec<(usize, Vec<T>)> = Vec::with_capacity(threads);
+        let mut base = 0;
+        while !items.is_empty() {
+            let take = chunk.min(items.len());
+            let rest = items.split_off(take);
+            chunks.push((base, items));
+            base += take;
+            items = rest;
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            for (start, chunk_items) in chunks {
+                s.spawn(move || {
+                    for (offset, item) in chunk_items.into_iter().enumerate() {
+                        f(start + offset, item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Send + Sync,
+    {
+        self.drive(move |_, item| f(item));
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct RangeParIter {
+    range: Range<usize>,
+}
+
+impl ParallelIterator for RangeParIter {
+    type Item = usize;
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        VecParIter {
+            items: self.range.collect::<Vec<_>>(),
+        }
+        .drive(move |_, v| f(v));
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = RangeParIter;
+
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter { range: self }
+    }
+}
+
+/// Index-pairing adapter returned by [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    inner: I,
+}
+
+impl<T: Send> ParallelIterator for Enumerate<VecParIter<T>> {
+    type Item = (usize, T);
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, T)) + Send + Sync,
+    {
+        self.inner.drive(move |i, item| f((i, item)));
+    }
+}
+
+/// Glob-import module mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        let hits = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..1000).collect();
+        items.into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn enumerate_indices_match_original_order() {
+        let items: Vec<u32> = (0..500).map(|i| i * 3).collect();
+        let sum = AtomicUsize::new(0);
+        items
+            .clone()
+            .into_par_iter()
+            .enumerate()
+            .for_each(|(i, v)| {
+                assert_eq!(v, items[i]);
+                sum.fetch_add(1, Ordering::Relaxed);
+            });
+        assert_eq!(sum.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn mutable_slices_are_written_in_parallel() {
+        let mut data = [0u8; 64];
+        let rows: Vec<&mut [u8]> = data.chunks_mut(8).collect();
+        rows.into_par_iter().enumerate().for_each(|(i, row)| {
+            for b in row.iter_mut() {
+                *b = i as u8;
+            }
+        });
+        for (i, chunk) in data.chunks(8).enumerate() {
+            assert!(chunk.iter().all(|&b| b == i as u8));
+        }
+    }
+
+    #[test]
+    fn pool_install_overrides_thread_count() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            assert_eq!(super::current_num_threads(), 2);
+        });
+        let pool1 = super::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        pool1.install(|| {
+            // Single-threaded path runs inline.
+            let items: Vec<usize> = (0..10).collect();
+            let tid = std::thread::current().id();
+            items.into_par_iter().for_each(|_| {
+                assert_eq!(std::thread::current().id(), tid);
+            });
+        });
+    }
+
+    #[test]
+    fn range_par_iter_covers_range() {
+        let hits = AtomicUsize::new(0);
+        (5..105usize).into_par_iter().for_each(|v| {
+            assert!((5..105).contains(&v));
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+}

@@ -1,7 +1,7 @@
 //! Compare intrinsics (category *d*). Results are all-ones / all-zero masks
 //! in the same register class as the operands, exactly as on hardware.
 
-use crate::types::{cast, ps_from_bits, __m128, __m128d, __m128i};
+use crate::types::{__m128, __m128d, __m128i, cast, ps_from_bits};
 use op_trace::{count, OpClass};
 use simd_vector::{U32x4, U64x2};
 

@@ -137,7 +137,10 @@ mod tests {
         let v = _mm_setr_epi32(-3, 0, 7, 1_000_000);
         let f = _mm_cvtepi32_ps(v);
         assert_eq!(f.to_array(), [-3.0, 0.0, 7.0, 1e6]);
-        assert_eq!(_mm_cvtps_epi32(f).as_i32().to_array(), v.as_i32().to_array());
+        assert_eq!(
+            _mm_cvtps_epi32(f).as_i32().to_array(),
+            v.as_i32().to_array()
+        );
     }
 
     #[test]

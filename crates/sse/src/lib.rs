@@ -42,4 +42,4 @@ pub use load_store::*;
 pub use logical::*;
 pub use pack::*;
 pub use shift::*;
-pub use types::{MemElem, __m128, __m128d, __m128i};
+pub use types::{__m128, __m128d, __m128i, MemElem};

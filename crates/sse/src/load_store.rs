@@ -1,6 +1,6 @@
 //! Data-movement intrinsics (category *a* of the paper's taxonomy).
 
-use crate::types::{assert_aligned, read_q, write_q, MemElem, __m128, __m128d, __m128i};
+use crate::types::{__m128, __m128d, __m128i, assert_aligned, read_q, write_q, MemElem};
 use op_trace::{count, OpClass};
 use simd_vector::{F32x4, F64x2, I16x8, I32x4, I8x16, U8x16};
 

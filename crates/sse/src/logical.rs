@@ -1,6 +1,6 @@
 //! Logical (bitwise) intrinsics (category *c*).
 
-use crate::types::{ps_from_bits, ps_to_bits, __m128, __m128i};
+use crate::types::{__m128, __m128i, ps_from_bits, ps_to_bits};
 use op_trace::{count, OpClass};
 
 /// `pand` — 128-bit bitwise AND.

@@ -1,6 +1,6 @@
 //! Pack, unpack and shuffle intrinsics (category *e*).
 
-use crate::types::{ps_to_bits, __m128, __m128i};
+use crate::types::{__m128, __m128i, ps_to_bits};
 use op_trace::{count, OpClass};
 use simd_vector::{F32x4, I16x8, I32x4, U8x16};
 
@@ -232,14 +232,8 @@ mod tests {
         );
         let c = _mm_setr_epi32(0, 1, 2, 3);
         let d = _mm_setr_epi32(10, 11, 12, 13);
-        assert_eq!(
-            _mm_unpackhi_epi32(c, d).as_i32().to_array(),
-            [2, 12, 3, 13]
-        );
-        assert_eq!(
-            _mm_unpacklo_epi64(c, d).as_i32().to_array(),
-            [0, 1, 10, 11]
-        );
+        assert_eq!(_mm_unpackhi_epi32(c, d).as_i32().to_array(), [2, 12, 3, 13]);
+        assert_eq!(_mm_unpacklo_epi64(c, d).as_i32().to_array(), [0, 1, 10, 11]);
     }
 
     #[test]

@@ -100,7 +100,10 @@ mod tests {
         let d = _mm_set1_epi32(1);
         assert_eq!(_mm_slli_epi32::<8>(d).as_i32().lane(0), 256);
         assert_eq!(_mm_srli_epi32::<1>(d).as_i32().lane(0), 0);
-        assert_eq!(_mm_srai_epi32::<4>(_mm_set1_epi32(-256)).as_i32().lane(0), -16);
+        assert_eq!(
+            _mm_srai_epi32::<4>(_mm_set1_epi32(-256)).as_i32().lane(0),
+            -16
+        );
     }
 
     #[test]

@@ -154,9 +154,21 @@ check_si_binop!(adds_epu8, sse_sim::_mm_adds_epu8, native::_mm_adds_epu8);
 check_si_binop!(subs_epu8, sse_sim::_mm_subs_epu8, native::_mm_subs_epu8);
 check_si_binop!(adds_epu16, sse_sim::_mm_adds_epu16, native::_mm_adds_epu16);
 check_si_binop!(subs_epu16, sse_sim::_mm_subs_epu16, native::_mm_subs_epu16);
-check_si_binop!(mullo_epi16, sse_sim::_mm_mullo_epi16, native::_mm_mullo_epi16);
-check_si_binop!(mulhi_epi16, sse_sim::_mm_mulhi_epi16, native::_mm_mulhi_epi16);
-check_si_binop!(mulhi_epu16, sse_sim::_mm_mulhi_epu16, native::_mm_mulhi_epu16);
+check_si_binop!(
+    mullo_epi16,
+    sse_sim::_mm_mullo_epi16,
+    native::_mm_mullo_epi16
+);
+check_si_binop!(
+    mulhi_epi16,
+    sse_sim::_mm_mulhi_epi16,
+    native::_mm_mulhi_epi16
+);
+check_si_binop!(
+    mulhi_epu16,
+    sse_sim::_mm_mulhi_epu16,
+    native::_mm_mulhi_epu16
+);
 check_si_binop!(madd_epi16, sse_sim::_mm_madd_epi16, native::_mm_madd_epi16);
 check_si_binop!(max_epu8, sse_sim::_mm_max_epu8, native::_mm_max_epu8);
 check_si_binop!(min_epu8, sse_sim::_mm_min_epu8, native::_mm_min_epu8);
@@ -176,12 +188,36 @@ check_si_binop!(
 );
 check_si_binop!(cmpeq_epi8, sse_sim::_mm_cmpeq_epi8, native::_mm_cmpeq_epi8);
 check_si_binop!(cmpgt_epi8, sse_sim::_mm_cmpgt_epi8, native::_mm_cmpgt_epi8);
-check_si_binop!(cmpeq_epi16, sse_sim::_mm_cmpeq_epi16, native::_mm_cmpeq_epi16);
-check_si_binop!(cmpgt_epi16, sse_sim::_mm_cmpgt_epi16, native::_mm_cmpgt_epi16);
-check_si_binop!(cmpeq_epi32, sse_sim::_mm_cmpeq_epi32, native::_mm_cmpeq_epi32);
-check_si_binop!(cmpgt_epi32, sse_sim::_mm_cmpgt_epi32, native::_mm_cmpgt_epi32);
-check_si_binop!(packs_epi32, sse_sim::_mm_packs_epi32, native::_mm_packs_epi32);
-check_si_binop!(packs_epi16, sse_sim::_mm_packs_epi16, native::_mm_packs_epi16);
+check_si_binop!(
+    cmpeq_epi16,
+    sse_sim::_mm_cmpeq_epi16,
+    native::_mm_cmpeq_epi16
+);
+check_si_binop!(
+    cmpgt_epi16,
+    sse_sim::_mm_cmpgt_epi16,
+    native::_mm_cmpgt_epi16
+);
+check_si_binop!(
+    cmpeq_epi32,
+    sse_sim::_mm_cmpeq_epi32,
+    native::_mm_cmpeq_epi32
+);
+check_si_binop!(
+    cmpgt_epi32,
+    sse_sim::_mm_cmpgt_epi32,
+    native::_mm_cmpgt_epi32
+);
+check_si_binop!(
+    packs_epi32,
+    sse_sim::_mm_packs_epi32,
+    native::_mm_packs_epi32
+);
+check_si_binop!(
+    packs_epi16,
+    sse_sim::_mm_packs_epi16,
+    native::_mm_packs_epi16
+);
 check_si_binop!(
     packus_epi16,
     sse_sim::_mm_packus_epi16,
@@ -249,14 +285,78 @@ macro_rules! check_si_shift {
     };
 }
 
-check_si_shift!(slli_epi16, sse_sim::_mm_slli_epi16, native::_mm_slli_epi16, 0, 1, 7, 15);
-check_si_shift!(srli_epi16, sse_sim::_mm_srli_epi16, native::_mm_srli_epi16, 0, 1, 7, 15);
-check_si_shift!(srai_epi16, sse_sim::_mm_srai_epi16, native::_mm_srai_epi16, 0, 1, 7, 15);
-check_si_shift!(slli_epi32, sse_sim::_mm_slli_epi32, native::_mm_slli_epi32, 0, 1, 15, 31);
-check_si_shift!(srli_epi32, sse_sim::_mm_srli_epi32, native::_mm_srli_epi32, 0, 1, 15, 31);
-check_si_shift!(srai_epi32, sse_sim::_mm_srai_epi32, native::_mm_srai_epi32, 0, 1, 15, 31);
-check_si_shift!(slli_si128, sse_sim::_mm_slli_si128, native::_mm_slli_si128, 0, 1, 4, 15);
-check_si_shift!(srli_si128, sse_sim::_mm_srli_si128, native::_mm_srli_si128, 0, 1, 4, 15);
+check_si_shift!(
+    slli_epi16,
+    sse_sim::_mm_slli_epi16,
+    native::_mm_slli_epi16,
+    0,
+    1,
+    7,
+    15
+);
+check_si_shift!(
+    srli_epi16,
+    sse_sim::_mm_srli_epi16,
+    native::_mm_srli_epi16,
+    0,
+    1,
+    7,
+    15
+);
+check_si_shift!(
+    srai_epi16,
+    sse_sim::_mm_srai_epi16,
+    native::_mm_srai_epi16,
+    0,
+    1,
+    7,
+    15
+);
+check_si_shift!(
+    slli_epi32,
+    sse_sim::_mm_slli_epi32,
+    native::_mm_slli_epi32,
+    0,
+    1,
+    15,
+    31
+);
+check_si_shift!(
+    srli_epi32,
+    sse_sim::_mm_srli_epi32,
+    native::_mm_srli_epi32,
+    0,
+    1,
+    15,
+    31
+);
+check_si_shift!(
+    srai_epi32,
+    sse_sim::_mm_srai_epi32,
+    native::_mm_srai_epi32,
+    0,
+    1,
+    15,
+    31
+);
+check_si_shift!(
+    slli_si128,
+    sse_sim::_mm_slli_si128,
+    native::_mm_slli_si128,
+    0,
+    1,
+    4,
+    15
+);
+check_si_shift!(
+    srli_si128,
+    sse_sim::_mm_srli_si128,
+    native::_mm_srli_si128,
+    0,
+    1,
+    4,
+    15
+);
 
 #[test]
 fn cvtps_epi32_parity() {
@@ -286,9 +386,8 @@ fn cvttps_epi32_parity() {
     for _ in 0..TRIALS {
         let a = rand_floats(&mut rng);
         let sim = sse_sim::_mm_cvttps_epi32(a.into()).as_i32().to_array();
-        let nat: [i32; 4] = unsafe {
-            std::mem::transmute(native_si_out(native::_mm_cvttps_epi32(native_ps(a))))
-        };
+        let nat: [i32; 4] =
+            unsafe { std::mem::transmute(native_si_out(native::_mm_cvttps_epi32(native_ps(a)))) };
         assert_eq!(sim, nat, "inputs {a:?}");
     }
 }
@@ -341,7 +440,12 @@ fn sqrt_rcp_parity() {
         let nat_rcp = native_ps_out(unsafe { native::_mm_rcp_ps(native_ps(a)) });
         for i in 0..4 {
             let rel = ((sim_rcp[i] - nat_rcp[i]) / sim_rcp[i]).abs();
-            assert!(rel < 3e-4, "rcp lane {i}: sim {} nat {}", sim_rcp[i], nat_rcp[i]);
+            assert!(
+                rel < 3e-4,
+                "rcp lane {i}: sim {} nat {}",
+                sim_rcp[i],
+                nat_rcp[i]
+            );
         }
     }
 }
@@ -386,10 +490,9 @@ fn extract_insert_parity() {
     for _ in 0..TRIALS {
         let a = rand_bytes(&mut rng);
         let v: i32 = rng.gen();
-        assert_eq!(
-            sse_sim::_mm_extract_epi16::<5>(sim_si(a)),
-            unsafe { native::_mm_extract_epi16::<5>(native_si(a)) },
-        );
+        assert_eq!(sse_sim::_mm_extract_epi16::<5>(sim_si(a)), unsafe {
+            native::_mm_extract_epi16::<5>(native_si(a))
+        },);
         assert_eq!(
             sim_si_out(sse_sim::_mm_insert_epi16::<5>(sim_si(a), v)),
             native_si_out(unsafe { native::_mm_insert_epi16::<5>(native_si(a), v) }),

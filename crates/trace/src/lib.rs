@@ -109,10 +109,7 @@ impl OpClass {
     pub const fn is_memory(self) -> bool {
         matches!(
             self,
-            OpClass::SimdLoad
-                | OpClass::SimdStore
-                | OpClass::ScalarLoad
-                | OpClass::ScalarStore
+            OpClass::SimdLoad | OpClass::SimdStore | OpClass::ScalarLoad | OpClass::ScalarStore
         )
     }
 }

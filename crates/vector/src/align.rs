@@ -53,8 +53,8 @@ impl<T: Pod> AlignedBuf<T> {
             };
         }
         let align = SIMD_ALIGN.max(std::mem::align_of::<T>());
-        let layout = Layout::from_size_align(len * std::mem::size_of::<T>(), align)
-            .expect("invalid layout");
+        let layout =
+            Layout::from_size_align(len * std::mem::size_of::<T>(), align).expect("invalid layout");
         // SAFETY: layout has non-zero size (len > 0, size_of::<T>() > 0 for
         // all Pod impls); alloc_zeroed returns either null or a valid block.
         let raw = unsafe { alloc_zeroed(layout) } as *mut T;

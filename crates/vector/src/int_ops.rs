@@ -205,7 +205,13 @@ macro_rules! signed_extra_ops {
             /// Lane-wise saturating absolute value (`vqabs`).
             #[inline]
             pub fn saturating_abs(self) -> Self {
-                self.map(|a| if a == <$elem>::MIN { <$elem>::MAX } else { a.abs() })
+                self.map(|a| {
+                    if a == <$elem>::MIN {
+                        <$elem>::MAX
+                    } else {
+                        a.abs()
+                    }
+                })
             }
 
             /// Lane-wise arithmetic shift right (sign fill).
@@ -251,9 +257,7 @@ macro_rules! unsigned_select {
             /// `(a + b + 1) >> 1` without intermediate overflow.
             #[inline]
             pub fn avg_round(self, rhs: Self) -> Self {
-                self.zip(rhs, |a, b| {
-                    (((a as u64) + (b as u64) + 1) >> 1) as $elem
-                })
+                self.zip(rhs, |a, b| (((a as u64) + (b as u64) + 1) >> 1) as $elem)
             }
 
             /// Lane-wise halving add, truncating (`vhadd`): `(a + b) >> 1`.
@@ -533,10 +537,8 @@ mod tests {
             [32767, -32768, 5, 32767, -32768, 0, 32767, -32768]
         );
         // vqmovn + vcombine path must agree.
-        let neon_style = I16x8::combine(
-            lo.narrow_saturate_i16_half(),
-            hi.narrow_saturate_i16_half(),
-        );
+        let neon_style =
+            I16x8::combine(lo.narrow_saturate_i16_half(), hi.narrow_saturate_i16_half());
         assert_eq!(neon_style, packed);
     }
 
@@ -545,20 +547,14 @@ mod tests {
         let lo = I16x8::new([-5, 0, 127, 128, 255, 256, 300, -1]);
         let hi = I16x8::splat(1000);
         let packed = I16x8::narrow_saturate_u8(lo, hi);
-        assert_eq!(
-            packed.to_array()[..8],
-            [0, 0, 127, 128, 255, 255, 255, 0]
-        );
+        assert_eq!(packed.to_array()[..8], [0, 0, 127, 128, 255, 255, 255, 0]);
         assert_eq!(packed.to_array()[8..], [255u8; 8]);
     }
 
     #[test]
     fn widen_roundtrip() {
         let v = U8x8::new([0, 1, 127, 128, 200, 255, 7, 9]);
-        assert_eq!(
-            v.widen_u16().to_array(),
-            [0, 1, 127, 128, 200, 255, 7, 9]
-        );
+        assert_eq!(v.widen_u16().to_array(), [0, 1, 127, 128, 200, 255, 7, 9]);
         assert_eq!(v.widen_i16().lane(5), 255i16);
         assert_eq!(v.widen_u16().narrow_truncate_u8(), v);
     }

@@ -64,7 +64,9 @@ fn main() {
     );
     println!(
         "\nall engines produced identical frame checksums ({} cores available)",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
     println!(
         "note: the paper benchmarks single-thread OpenCV; the parallel column is the\n\

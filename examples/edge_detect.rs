@@ -27,10 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let work = WorkSet::new(res, config.images);
 
-    println!(
-        "{:<10} {:>12} {:>10}",
-        "engine", "seconds", "vs scalar"
-    );
+    println!("{:<10} {:>12} {:>10}", "engine", "seconds", "vs scalar");
     let scalar = measure(Kernel::Edge, Engine::Scalar, &work, &config);
     for engine in Engine::ALL {
         let m = measure(Kernel::Edge, engine, &work, &config);

@@ -28,7 +28,10 @@ fn main() {
     }
     println!("HAND:AUTO speed-up ranges");
     println!("  ARM   (paper: 1.05 - 13.05): {:.2} - {:.2}", arm.0, arm.1);
-    println!("  Intel (paper: 1.34 -  5.54): {:.2} - {:.2}", intel.0, intel.1);
+    println!(
+        "  Intel (paper: 1.34 -  5.54): {:.2} - {:.2}",
+        intel.0, intel.1
+    );
 
     // Claim 2: the ODROID-X more than doubles the Tegra T30's NEON benefit
     // at the same 1.3 GHz clock.
@@ -37,7 +40,10 @@ fn main() {
     let so = speedup(&odroid, Kernel::Convert, Resolution::Mp8);
     let st = speedup(&tegra, Kernel::Convert, Resolution::Mp8);
     println!("\nODROID-X vs Tegra T30 (convert, both 1.3 GHz)");
-    println!("  speed-ups: {so:.2}x vs {st:.2}x (ratio {:.2}, paper: >2)", so / st);
+    println!(
+        "  speed-ups: {so:.2}x vs {st:.2}x (ratio {:.2}, paper: >2)",
+        so / st
+    );
 
     // Claim 3: the in-order Atom is about 10x slower than the OoO i7.
     let atom = platform_by_name("Atom-D510").unwrap();

@@ -27,7 +27,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Benchmark 2: binary threshold ----------------------------------
     let mut mask = Image::new(640, 480);
-    threshold_u8(&photo, &mut mask, 128, 255, ThresholdType::Binary, Engine::Native);
+    threshold_u8(
+        &photo,
+        &mut mask,
+        128,
+        255,
+        ThresholdType::Binary,
+        Engine::Native,
+    );
     let above = mask.iter_pixels().filter(|&p| p == 255).count();
     println!(
         "threshold @128: {:.1}% of pixels above",
@@ -53,7 +60,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("convert f32->i16: pixel(0,0) = {}", shorts.get(0, 0));
 
     // --- All backends agree bit-for-bit ----------------------------------
-    for engine in [Engine::Scalar, Engine::Autovec, Engine::Sse2Sim, Engine::NeonSim] {
+    for engine in [
+        Engine::Scalar,
+        Engine::Autovec,
+        Engine::Sse2Sim,
+        Engine::NeonSim,
+    ] {
         let mut check = Image::new(640, 480);
         gaussian_blur(&photo, &mut check, engine);
         assert!(check.pixels_eq(&blurred), "{engine:?} diverged");
@@ -66,6 +78,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::write(out.join("photo.bmp"), bmp::encode_gray(&photo))?;
     std::fs::write(out.join("blurred.bmp"), bmp::encode_gray(&blurred))?;
     std::fs::write(out.join("edges.bmp"), bmp::encode_gray(&edges))?;
-    println!("wrote photo.bmp / blurred.bmp / edges.bmp to {}", out.display());
+    println!(
+        "wrote photo.bmp / blurred.bmp / edges.bmp to {}",
+        out.display()
+    );
     Ok(())
 }

@@ -104,7 +104,12 @@ fn traffic_model_sanity_over_all_kernels() {
     for width in [640usize, 1280, 2592, 3264] {
         for llc in [256u32, 1024, 8192] {
             let mut last = 0.0;
-            for kernel in [Kernel::Threshold, Kernel::Convert, Kernel::Sobel, Kernel::Edge] {
+            for kernel in [
+                Kernel::Threshold,
+                Kernel::Convert,
+                Kernel::Sobel,
+                Kernel::Edge,
+            ] {
                 let b = dram_bytes_per_pixel(kernel, width, llc);
                 assert!(b > 0.0 && b < 64.0, "{kernel:?} {b}");
                 assert!(b >= last, "traffic ordering broke at {kernel:?}");

@@ -19,7 +19,12 @@ fn convert_equivalence_over_shapes() {
         let src = synthetic_image_f32(w, h, 0xC0FFEE).map(|v| (v - 128.0) * 300.0);
         let mut reference = Image::new(w, h);
         convert_f32_to_i16(&src, &mut reference, Engine::Scalar);
-        for engine in [Engine::Autovec, Engine::Sse2Sim, Engine::NeonSim, Engine::Native] {
+        for engine in [
+            Engine::Autovec,
+            Engine::Sse2Sim,
+            Engine::NeonSim,
+            Engine::Native,
+        ] {
             let mut out = Image::new(w, h);
             convert_f32_to_i16(&src, &mut out, engine);
             assert!(out.pixels_eq(&reference), "{w}x{h} {engine:?}");
@@ -105,13 +110,13 @@ fn parallel_wrappers_match_sequential_at_odd_shapes() {
 
 #[test]
 fn set_use_optimized_switches_like_opencv() {
-    use simd_repro::kernels::dispatch::default_engine;
-    let initial = use_optimized();
-    set_use_optimized(false);
-    assert_eq!(default_engine(), Engine::Scalar);
-    set_use_optimized(true);
-    assert!(default_engine().is_hand() || default_engine() == Engine::Autovec);
-    set_use_optimized(initial);
+    use simd_repro::kernels::dispatch::{default_engine, with_use_optimized};
+    with_use_optimized(false, || {
+        assert_eq!(default_engine(), Engine::Scalar);
+    });
+    with_use_optimized(true, || {
+        assert!(default_engine().is_hand() || default_engine() == Engine::Autovec);
+    });
 }
 
 #[test]
@@ -139,8 +144,8 @@ fn full_pipeline_through_bmp_roundtrip() {
 fn simulated_and_native_engines_agree_on_saturation_torture() {
     // Values engineered to hit every saturation branch of benchmark 1.
     let torture: Vec<f32> = vec![
-        32766.4, 32766.6, 32767.5, 32768.5, -32767.4, -32768.6, -32769.5, 0.5, -0.5, 1.5,
-        2.5, -1.5, -2.5, 65536.0, -65536.0, 1e9, -1e9, 1e-9, -1e-9, 0.0,
+        32766.4, 32766.6, 32767.5, 32768.5, -32767.4, -32768.6, -32769.5, 0.5, -0.5, 1.5, 2.5,
+        -1.5, -2.5, 65536.0, -65536.0, 1e9, -1e9, 1e-9, -1e-9, 0.0,
     ];
     let w = torture.len();
     let src = Image::from_fn(w, 1, |x, _| torture[x]);

@@ -26,8 +26,14 @@ fn arm_speedup_band_matches_abstract() {
             }
         }
     }
-    assert!((0.95..=1.5).contains(&min), "ARM min speed-up {min} (paper 1.05)");
-    assert!((10.0..=16.0).contains(&max), "ARM max speed-up {max} (paper 13.05)");
+    assert!(
+        (0.95..=1.5).contains(&min),
+        "ARM min speed-up {min} (paper 1.05)"
+    );
+    assert!(
+        (10.0..=16.0).contains(&max),
+        "ARM max speed-up {max} (paper 13.05)"
+    );
 }
 
 /// Abstract: "for the Intel platforms the hand-tuned SSE benchmarks were
@@ -45,8 +51,14 @@ fn intel_speedup_band_matches_abstract() {
             }
         }
     }
-    assert!((0.95..=1.7).contains(&min), "Intel min speed-up {min} (paper 1.34)");
-    assert!((4.2..=6.5).contains(&max), "Intel max speed-up {max} (paper 5.54)");
+    assert!(
+        (0.95..=1.7).contains(&min),
+        "Intel min speed-up {min} (paper 1.34)"
+    );
+    assert!(
+        (4.2..=6.5).contains(&max),
+        "Intel max speed-up {max} (paper 5.54)"
+    );
 }
 
 /// Section IV-A: "the speed-up obtained with HAND varies from 5.27 for the
@@ -54,10 +66,18 @@ fn intel_speedup_band_matches_abstract() {
 /// conversion benchmark.
 #[test]
 fn convert_intel_ordering_atom_max_core2_min() {
-    let intel: Vec<_> = all_platforms().into_iter().filter(|p| !p.is_arm()).collect();
+    let intel: Vec<_> = all_platforms()
+        .into_iter()
+        .filter(|p| !p.is_arm())
+        .collect();
     let speedups: Vec<(String, f64)> = intel
         .iter()
-        .map(|pl| (pl.short.to_string(), speedup(pl, Kernel::Convert, Resolution::Vga)))
+        .map(|pl| {
+            (
+                pl.short.to_string(),
+                speedup(pl, Kernel::Convert, Resolution::Vga),
+            )
+        })
         .collect();
     let atom = speedups.iter().find(|(n, _)| n == "Atom-D510").unwrap().1;
     let c2q = speedups.iter().find(|(n, _)| n == "Core2-Q9400").unwrap().1;
@@ -65,8 +85,14 @@ fn convert_intel_ordering_atom_max_core2_min() {
         assert!(*s <= atom + 1e-9, "{name} {s} exceeds Atom {atom}");
         assert!(*s >= c2q - 1e-9, "{name} {s} below Core2 {c2q}");
     }
-    assert!((4.0..=6.0).contains(&atom), "Atom convert {atom} (paper 5.27)");
-    assert!((1.1..=1.8).contains(&c2q), "Core2 convert {c2q} (paper 1.34)");
+    assert!(
+        (4.0..=6.0).contains(&atom),
+        "Atom convert {atom} (paper 5.27)"
+    );
+    assert!(
+        (1.1..=1.8).contains(&c2q),
+        "Core2 convert {c2q} (paper 1.34)"
+    );
 }
 
 /// Section IV-A: the Exynos 3110's conversion speed-up reaches ~13, the
@@ -75,7 +101,10 @@ fn convert_intel_ordering_atom_max_core2_min() {
 fn convert_arm_extremes() {
     let exynos = speedup(&p("Exynos-3110"), Kernel::Convert, Resolution::Mp8);
     let tegra = speedup(&p("Tegra-T30"), Kernel::Convert, Resolution::Mp8);
-    assert!((11.0..=15.5).contains(&exynos), "Exynos 3110: {exynos} (paper 13.05)");
+    assert!(
+        (11.0..=15.5).contains(&exynos),
+        "Exynos 3110: {exynos} (paper 13.05)"
+    );
     assert!((3.0..=5.0).contains(&tegra), "Tegra: {tegra} (paper 3.42)");
 }
 
@@ -93,7 +122,10 @@ fn odroid_beats_tegra_by_over_2x() {
     for kernel in Kernel::ALL {
         let to = predict_seconds(&odroid, kernel, Strategy::Hand, Resolution::Mp8);
         let tt = predict_seconds(&tegra, kernel, Strategy::Hand, Resolution::Mp8);
-        assert!(to < tt, "{kernel:?}: ODROID {to} not faster than Tegra {tt}");
+        assert!(
+            to < tt,
+            "{kernel:?}: ODROID {to} not faster than Tegra {tt}"
+        );
     }
 }
 
@@ -103,13 +135,21 @@ fn odroid_beats_tegra_by_over_2x() {
 fn figures_3_to_6_cap_below_convert() {
     let mut max_b2_b5 = 0.0f64;
     for platform in all_platforms() {
-        for kernel in [Kernel::Threshold, Kernel::Gaussian, Kernel::Sobel, Kernel::Edge] {
+        for kernel in [
+            Kernel::Threshold,
+            Kernel::Gaussian,
+            Kernel::Sobel,
+            Kernel::Edge,
+        ] {
             for res in Resolution::ALL {
                 max_b2_b5 = max_b2_b5.max(speedup(&platform, kernel, res));
             }
         }
     }
-    assert!((4.0..=6.5).contains(&max_b2_b5), "max fig3-6 speed-up {max_b2_b5} (paper ~5.5)");
+    assert!(
+        (4.0..=6.5).contains(&max_b2_b5),
+        "max fig3-6 speed-up {max_b2_b5} (paper ~5.5)"
+    );
 }
 
 /// Section IV-B: the i5 has the best absolute times; the Exynos 4412 is the
@@ -121,7 +161,11 @@ fn absolute_time_ordering() {
         let best = predict_seconds(&i5, kernel, Strategy::Hand, Resolution::Mp8);
         for platform in all_platforms() {
             let t = predict_seconds(&platform, kernel, Strategy::Hand, Resolution::Mp8);
-            assert!(t >= best - 1e-12, "{} beat the i5 on {kernel:?}", platform.short);
+            assert!(
+                t >= best - 1e-12,
+                "{} beat the i5 on {kernel:?}",
+                platform.short
+            );
         }
     }
     let exynos = p("Exynos-4412");
@@ -139,10 +183,18 @@ fn absolute_time_ordering() {
     // Atom vs i7 on the AUTO builds of benchmarks 2-5: "about 10x slower".
     let atom = p("Atom-D510");
     let i7 = p("i7-2820QM");
-    for kernel in [Kernel::Threshold, Kernel::Gaussian, Kernel::Sobel, Kernel::Edge] {
+    for kernel in [
+        Kernel::Threshold,
+        Kernel::Gaussian,
+        Kernel::Sobel,
+        Kernel::Edge,
+    ] {
         let ratio = predict_seconds(&atom, kernel, Strategy::Auto, Resolution::Mp8)
             / predict_seconds(&i7, kernel, Strategy::Auto, Resolution::Mp8);
-        assert!((4.0..=14.0).contains(&ratio), "{kernel:?}: atom/i7 = {ratio}");
+        assert!(
+            (4.0..=14.0).contains(&ratio),
+            "{kernel:?}: atom/i7 = {ratio}"
+        );
     }
 }
 
@@ -161,7 +213,10 @@ fn exynos_4412_vs_i5_band() {
             in_band += 1;
         }
     }
-    assert!(in_band >= 3, "most kernels should land in the paper's 8-15x band");
+    assert!(
+        in_band >= 3,
+        "most kernels should land in the paper's 8-15x band"
+    );
 }
 
 /// Table II behaviour: "absolute execution times ... scale almost linearly

@@ -14,8 +14,14 @@ fn neon_convert_is_14_ops_per_8_pixels() {
     let mix = hand_mix(Kernel::Convert, Isa::Neon);
     let simd_per_8 = mix.simd_total() * 8.0;
     let overhead_per_8 = (mix.get(OpClass::AddrArith) + mix.get(OpClass::Branch)) * 8.0;
-    assert!((simd_per_8 - 8.0).abs() < 0.4, "SIMD ops/8px = {simd_per_8}");
-    assert!((overhead_per_8 - 6.0).abs() < 0.4, "overhead/8px = {overhead_per_8}");
+    assert!(
+        (simd_per_8 - 8.0).abs() < 0.4,
+        "SIMD ops/8px = {simd_per_8}"
+    );
+    assert!(
+        (overhead_per_8 - 6.0).abs() < 0.4,
+        "overhead/8px = {overhead_per_8}"
+    );
     assert!(
         (mix.total() * 8.0 - 14.0).abs() < 0.8,
         "total ops/8px = {}",
@@ -119,7 +125,11 @@ fn hand_streams_amortise_memory_ops() {
         let hand = hand_mix(Kernel::Threshold, isa);
         let auto = auto_mix(Kernel::Threshold, isa);
         // HAND: 1 load + 1 store per 16 pixels; AUTO: 2 per pixel.
-        assert!(hand.memory_total() < 0.25, "{isa:?} {}", hand.memory_total());
+        assert!(
+            hand.memory_total() < 0.25,
+            "{isa:?} {}",
+            hand.memory_total()
+        );
         assert!((auto.memory_total() - 2.0).abs() < 0.01);
     }
 }
