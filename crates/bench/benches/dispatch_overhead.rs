@@ -1,0 +1,107 @@
+//! Per-call dispatch overhead of the persistent worker pool vs. the
+//! per-call-spawn baseline (ISSUE 2's tentpole measurement).
+//!
+//! Three image sizes bracket the regimes that matter:
+//!
+//! * 64×64 — the kernel is microseconds, so per-call latency is almost
+//!   pure scheduling cost; this is where spawn/join overhead dominated.
+//! * 640×480 (0.3 Mpx) — the paper's smallest resolution, where the old
+//!   dispatch overhead was the same order as the kernel itself.
+//! * 3264×2448 (8 Mpx) — compute-bound; both schedulers should converge,
+//!   confirming the pool does not tax large images.
+//!
+//! Two extra `pure_dispatch` series time a trivial-body parallel call
+//! (one no-op task per scheduler width) so the raw submit/wake/join cost
+//! is visible without any kernel work at all.
+//!
+//! All series run under a 4-wide `install` so the pool path exercises the
+//! real scheduler (work-stealing deques, condvar parking) even on
+//! single-core CI hosts, and the spawn baseline pays for the same four
+//! threads it would spawn on a 4-core target.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pixelimage::{synthetic_image, Image};
+use simdbench_core::kernelgen::paper_gaussian_kernel;
+use simdbench_core::pipeline::{
+    fused_gaussian_blur_with, par_fused_gaussian_blur_spawn_baseline, par_fused_gaussian_blur_with,
+    BandPlan,
+};
+use simdbench_core::scratch::Scratch;
+use simdbench_core::Engine;
+
+const ENGINE: Engine = Engine::Native;
+const WIDTH: usize = 4;
+
+/// (label, width, height): 64×64 micro, 0.3 Mpx VGA, 8 Mpx full-size.
+const SIZES: [(&str, usize, usize); 3] = [
+    ("64x64", 64, 64),
+    ("0.3mpx", 640, 480),
+    ("8mpx", 3264, 2448),
+];
+
+fn bench_dispatch_gaussian(c: &mut Criterion) {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(WIDTH)
+        .build()
+        .expect("pool build");
+    let mut group = c.benchmark_group("dispatch_gaussian");
+    group.sample_size(20);
+    let kernel = paper_gaussian_kernel();
+    for (label, w, h) in SIZES {
+        let src = synthetic_image(w, h, 0xD15);
+        let mut dst = Image::<u8>::new(w, h);
+        let mut scratch = Scratch::new();
+        let plan = BandPlan::for_width(w);
+        group.bench_with_input(BenchmarkId::new("seq_fused", label), &(), |b, _| {
+            b.iter(|| fused_gaussian_blur_with(&src, &mut dst, &kernel, ENGINE, &mut scratch))
+        });
+        group.bench_with_input(BenchmarkId::new("pool", label), &(), |b, _| {
+            pool.install(|| {
+                b.iter(|| par_fused_gaussian_blur_with(&src, &mut dst, &kernel, ENGINE, &plan))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("spawn_per_call", label), &(), |b, _| {
+            pool.install(|| {
+                b.iter(|| {
+                    par_fused_gaussian_blur_spawn_baseline(&src, &mut dst, &kernel, ENGINE, &plan)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pure_dispatch(c: &mut Criterion) {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(WIDTH)
+        .build()
+        .expect("pool build");
+    let mut group = c.benchmark_group("pure_dispatch");
+    group.sample_size(20);
+    // WIDTH trivial tasks: every scheduler invocation wakes the full
+    // width and joins, with effectively zero useful work per task.
+    group.bench_function("pool", |b| {
+        pool.install(|| {
+            b.iter(|| {
+                (0..WIDTH).into_par_iter().for_each(|i| {
+                    std::hint::black_box(i);
+                });
+            })
+        })
+    });
+    group.bench_function("spawn_per_call", |b| {
+        pool.install(|| {
+            b.iter(|| {
+                rayon::spawn_baseline_for_each(0..WIDTH, |i| {
+                    std::hint::black_box(i);
+                });
+            })
+        })
+    });
+    group.finish();
+}
+
+use rayon::prelude::*;
+
+criterion_group!(benches, bench_dispatch_gaussian, bench_pure_dispatch);
+criterion_main!(benches);

@@ -73,7 +73,7 @@ fn bench_fused_edge(c: &mut Criterion) {
             b.iter(|| fused_edge_detect_with(&src, &mut dst, 96, ENGINE, &mut scratch))
         });
         group.bench_with_input(BenchmarkId::new("par_fused", res.label()), &(), |b, _| {
-            b.iter(|| par_fused_edge_detect_with(&src, &mut dst, 96, ENGINE, &mut scratch, &plan))
+            b.iter(|| par_fused_edge_detect_with(&src, &mut dst, 96, ENGINE, &plan))
         });
     }
     group.finish();

@@ -18,7 +18,6 @@ use crate::kernelgen::{paper_gaussian_kernel, FixedKernel};
 use crate::pipeline::{
     par_fused_edge_detect_with, par_fused_gaussian_blur_with, par_fused_sobel_with, BandPlan,
 };
-use crate::scratch::Scratch;
 use crate::sobel::SobelDirection;
 use crate::threshold::{threshold_row, ThresholdType};
 use pixelimage::Image;
@@ -70,23 +69,22 @@ pub fn par_gaussian_blur(src: &Image<u8>, dst: &mut Image<u8>, engine: Engine) {
 }
 
 /// Band-parallel Gaussian blur with an explicit kernel, via the fused
-/// pipeline: no intermediate image, no allocations inside workers.
+/// pipeline: no intermediate image; band workspaces come from the pool
+/// workers' thread-local arenas.
 pub fn par_gaussian_blur_kernel(
     src: &Image<u8>,
     dst: &mut Image<u8>,
     kernel: &FixedKernel,
     engine: Engine,
 ) {
-    let mut scratch = Scratch::new();
     let plan = BandPlan::for_width(src.width());
-    par_fused_gaussian_blur_with(src, dst, kernel, engine, &mut scratch, &plan);
+    par_fused_gaussian_blur_with(src, dst, kernel, engine, &plan);
 }
 
 /// Band-parallel Sobel gradient via the fused pipeline.
 pub fn par_sobel(src: &Image<u8>, dst: &mut Image<i16>, dir: SobelDirection, engine: Engine) {
-    let mut scratch = Scratch::new();
     let plan = BandPlan::for_width(src.width());
-    par_fused_sobel_with(src, dst, dir, engine, &mut scratch, &plan);
+    par_fused_sobel_with(src, dst, dir, engine, &plan);
 }
 
 /// Band-parallel edge detection via the fused pipeline: the former
@@ -94,9 +92,8 @@ pub fn par_sobel(src: &Image<u8>, dst: &mut Image<i16>, dir: SobelDirection, eng
 /// allocated a magnitude row per output row; this runs the whole
 /// Sobel×2 → magnitude → threshold chain per band with pooled buffers.
 pub fn par_edge_detect(src: &Image<u8>, dst: &mut Image<u8>, thresh: u8, engine: Engine) {
-    let mut scratch = Scratch::new();
     let plan = BandPlan::for_width(src.width());
-    par_fused_edge_detect_with(src, dst, thresh, engine, &mut scratch, &plan);
+    par_fused_edge_detect_with(src, dst, thresh, engine, &plan);
 }
 
 #[cfg(test)]

@@ -22,22 +22,30 @@
 //! from its per-platform cache descriptions; [`BandPlan::for_width`] uses
 //! conservative defaults.
 //!
-//! Buffers come from a [`Scratch`] arena and are checked out *before* any
-//! parallel loop: the per-row/per-band worker closures perform zero heap
-//! allocations (see `tests/fused_zero_alloc.rs` for the allocator-level
-//! proof on the sequential path and the arena ledger assertions for the
-//! parallel one).
+//! Buffers come from a [`Scratch`] arena. The sequential entry points use
+//! a caller-owned arena; the parallel drivers hand bands to the
+//! persistent worker pool (`shim-rayon`), where each worker owns a
+//! thread-local arena ([`crate::scratch::with_worker_workspace`]) that
+//! lives as long as the worker thread. Either way, steady-state calls
+//! perform zero heap allocations inside the band loops (see
+//! `tests/fused_zero_alloc.rs` for the allocator-level proof of both
+//! paths).
+//!
+//! For dispatch-overhead measurements the `par_fused_*_spawn_baseline`
+//! drivers reproduce the pre-pool scheduling — scoped OS threads spawned
+//! and joined on every call, with per-call workspace allocation. They
+//! exist only so `bench dispatch_overhead` and `repro parallel` can put a
+//! number on what the persistent pool saves.
 
 use crate::dispatch::Engine;
 use crate::edge::magnitude_row;
 use crate::gaussian::{horizontal_row, vertical_row};
 use crate::kernelgen::{paper_gaussian_kernel, FixedKernel};
-use crate::scratch::{BandWorkspace, Scratch, WorkspaceSpec, MAX_TAPS};
+use crate::scratch::{with_worker_workspace, BandWorkspace, Scratch, WorkspaceSpec, MAX_TAPS};
 use crate::sobel::{h_diff_row, h_smooth_row, v_diff_row, v_smooth_row, SobelDirection};
 use crate::threshold::{threshold_row, ThresholdType};
 use pixelimage::Image;
 use rayon::prelude::*;
-use std::sync::Mutex;
 
 // ---------------------------------------------------------------------------
 // Band planning
@@ -395,7 +403,6 @@ fn edge_band(
 
 /// One parallel work item: a band's row range and its destination slice.
 struct BandItem<'a, T> {
-    band: usize,
     y0: usize,
     y1: usize,
     dst: &'a mut [T],
@@ -416,7 +423,6 @@ fn band_items<'a, T: simd_vector::align::Pod>(
     let rows = plan.band_rows.max(1);
     let mut items = Vec::with_capacity(plan.num_bands(height));
     let mut rest = &mut dst.as_mut_slice()[..];
-    let mut band = 0usize;
     let mut y = 0usize;
     while y < height {
         let y1 = (y + rows).min(height);
@@ -431,66 +437,87 @@ fn band_items<'a, T: simd_vector::align::Pod>(
         };
         let used = (band_rows - 1) * stride + width;
         items.push(BandItem {
-            band,
             y0: y,
             y1,
             dst: &mut chunk[..used],
         });
         rest = tail;
-        band += 1;
         y = y1;
     }
     items
 }
 
-/// Checks out one workspace per band (all allocation up front), runs the
-/// bands in parallel, and returns every workspace to the arena.
-fn run_bands<T, F>(items: Vec<BandItem<'_, T>>, spec: WorkspaceSpec, scratch: &mut Scratch, work: F)
+/// Runs the bands on the persistent worker pool. Bands are scheduled
+/// dynamically (chunked, stealable tasks), so any worker may process any
+/// band; each takes its workspace from its own thread-local arena, which
+/// is warm after the worker's first band of this shape — steady-state
+/// parallel calls perform no worker-side heap allocations.
+fn run_bands<T, F>(items: Vec<BandItem<'_, T>>, spec: WorkspaceSpec, work: F)
 where
     T: simd_vector::align::Pod + Send,
     F: Fn(&BandItem<'_, T>, &mut [T], &mut BandWorkspace) + Send + Sync,
 {
-    let slots: Vec<Mutex<BandWorkspace>> = items
-        .iter()
-        .map(|_| Mutex::new(scratch.checkout(spec)))
-        .collect();
-    let slots_ref = &slots;
     let work_ref = &work;
     items.into_par_iter().for_each(move |mut item| {
-        // Uncontended by construction: slot `band` belongs to this item.
-        let mut ws = slots_ref[item.band]
-            .lock()
-            .unwrap_or_else(|e| e.into_inner());
-        let dst = std::mem::take(&mut item.dst);
-        work_ref(&item, dst, &mut ws);
+        with_worker_workspace(spec, |ws| {
+            let dst = std::mem::take(&mut item.dst);
+            work_ref(&item, dst, ws);
+        });
     });
-    for slot in slots {
-        scratch.give_back(slot.into_inner().unwrap_or_else(|e| e.into_inner()));
+}
+
+/// The pre-pool parallel driver, kept only as the dispatch-overhead
+/// baseline: spawns fresh scoped OS threads on **every call** (one per
+/// static chunk of bands) and allocates fresh workspaces per call —
+/// exactly the costs the persistent pool amortises away. Not used by any
+/// production path.
+fn run_bands_spawn<T, F>(items: Vec<BandItem<'_, T>>, spec: WorkspaceSpec, work: F)
+where
+    T: simd_vector::align::Pod + Send,
+    F: Fn(&BandItem<'_, T>, &mut [T], &mut BandWorkspace) + Send + Sync,
+{
+    let threads = rayon::current_num_threads().max(1);
+    let work_ref = &work;
+    let run_batch = |batch: Vec<BandItem<'_, T>>| {
+        let mut scratch = Scratch::new();
+        let mut ws = scratch.checkout(spec);
+        for mut item in batch {
+            let dst = std::mem::take(&mut item.dst);
+            work_ref(&item, dst, &mut ws);
+        }
+        scratch.give_back(ws);
+    };
+    if threads == 1 || items.len() <= 1 {
+        run_batch(items);
+        return;
     }
+    let chunk = items.len().div_ceil(threads);
+    let mut items = items;
+    let run_batch = &run_batch;
+    std::thread::scope(|s| {
+        while !items.is_empty() {
+            let take = chunk.min(items.len());
+            let batch: Vec<BandItem<'_, T>> = items.drain(..take).collect();
+            s.spawn(move || run_batch(batch));
+        }
+    });
 }
 
 /// Band-parallel fused Gaussian blur (paper kernel, default plan).
 pub fn par_fused_gaussian_blur(src: &Image<u8>, dst: &mut Image<u8>, engine: Engine) {
-    let mut scratch = Scratch::new();
     let plan = BandPlan::for_width(src.width());
-    par_fused_gaussian_blur_with(
-        src,
-        dst,
-        &paper_gaussian_kernel(),
-        engine,
-        &mut scratch,
-        &plan,
-    );
+    par_fused_gaussian_blur_with(src, dst, &paper_gaussian_kernel(), engine, &plan);
 }
 
-/// Band-parallel fused Gaussian blur with explicit kernel, scratch and
-/// plan. Bit-identical to the sequential kernels for every engine.
+/// Band-parallel fused Gaussian blur with explicit kernel and plan, run
+/// on the persistent worker pool. Bit-identical to the sequential kernels
+/// for every engine. Workspaces come from the workers' thread-local
+/// arenas; there is no caller-owned scratch on the parallel path.
 pub fn par_fused_gaussian_blur_with(
     src: &Image<u8>,
     dst: &mut Image<u8>,
     kernel: &FixedKernel,
     engine: Engine,
-    scratch: &mut Scratch,
     plan: &BandPlan,
 ) {
     assert_eq!(src.width(), dst.width(), "width mismatch");
@@ -506,25 +533,51 @@ pub fn par_fused_gaussian_blur_with(
     let stride = dst.stride();
     let items = band_items(dst, plan);
     let spec = WorkspaceSpec::gaussian(src.width(), kernel.len());
-    run_bands(items, spec, scratch, |item, dst_band, ws| {
+    run_bands(items, spec, |item, dst_band, ws| {
+        gaussian_band(src, dst_band, stride, item.y0, item.y1, kernel, engine, ws);
+    });
+}
+
+/// [`par_fused_gaussian_blur_with`] scheduled by per-call thread spawning
+/// (the dispatch-overhead baseline; see [`run_bands_spawn`]).
+pub fn par_fused_gaussian_blur_spawn_baseline(
+    src: &Image<u8>,
+    dst: &mut Image<u8>,
+    kernel: &FixedKernel,
+    engine: Engine,
+    plan: &BandPlan,
+) {
+    assert_eq!(src.width(), dst.width(), "width mismatch");
+    assert_eq!(src.height(), dst.height(), "height mismatch");
+    assert_eq!(kernel.sum(), 256, "kernel must be Q8-normalised");
+    if kernel.len() > MAX_TAPS {
+        crate::gaussian::gaussian_blur_kernel(src, dst, kernel, engine);
+        return;
+    }
+    if src.height() == 0 {
+        return;
+    }
+    let stride = dst.stride();
+    let items = band_items(dst, plan);
+    let spec = WorkspaceSpec::gaussian(src.width(), kernel.len());
+    run_bands_spawn(items, spec, |item, dst_band, ws| {
         gaussian_band(src, dst_band, stride, item.y0, item.y1, kernel, engine, ws);
     });
 }
 
 /// Band-parallel fused Sobel (default plan).
 pub fn par_fused_sobel(src: &Image<u8>, dst: &mut Image<i16>, dir: SobelDirection, engine: Engine) {
-    let mut scratch = Scratch::new();
     let plan = BandPlan::for_width(src.width());
-    par_fused_sobel_with(src, dst, dir, engine, &mut scratch, &plan);
+    par_fused_sobel_with(src, dst, dir, engine, &plan);
 }
 
-/// Band-parallel fused Sobel with explicit scratch and plan.
+/// Band-parallel fused Sobel with explicit plan, run on the persistent
+/// worker pool.
 pub fn par_fused_sobel_with(
     src: &Image<u8>,
     dst: &mut Image<i16>,
     dir: SobelDirection,
     engine: Engine,
-    scratch: &mut Scratch,
     plan: &BandPlan,
 ) {
     assert_eq!(src.width(), dst.width(), "width mismatch");
@@ -535,25 +588,46 @@ pub fn par_fused_sobel_with(
     let stride = dst.stride();
     let items = band_items(dst, plan);
     let spec = WorkspaceSpec::sobel(src.width());
-    run_bands(items, spec, scratch, |item, dst_band, ws| {
+    run_bands(items, spec, |item, dst_band, ws| {
+        sobel_band(src, dst_band, stride, item.y0, item.y1, dir, engine, ws);
+    });
+}
+
+/// [`par_fused_sobel_with`] scheduled by per-call thread spawning (the
+/// dispatch-overhead baseline).
+pub fn par_fused_sobel_spawn_baseline(
+    src: &Image<u8>,
+    dst: &mut Image<i16>,
+    dir: SobelDirection,
+    engine: Engine,
+    plan: &BandPlan,
+) {
+    assert_eq!(src.width(), dst.width(), "width mismatch");
+    assert_eq!(src.height(), dst.height(), "height mismatch");
+    if src.height() == 0 {
+        return;
+    }
+    let stride = dst.stride();
+    let items = band_items(dst, plan);
+    let spec = WorkspaceSpec::sobel(src.width());
+    run_bands_spawn(items, spec, |item, dst_band, ws| {
         sobel_band(src, dst_band, stride, item.y0, item.y1, dir, engine, ws);
     });
 }
 
 /// Band-parallel fused edge detection (default plan).
 pub fn par_fused_edge_detect(src: &Image<u8>, dst: &mut Image<u8>, thresh: u8, engine: Engine) {
-    let mut scratch = Scratch::new();
     let plan = BandPlan::for_width(src.width());
-    par_fused_edge_detect_with(src, dst, thresh, engine, &mut scratch, &plan);
+    par_fused_edge_detect_with(src, dst, thresh, engine, &plan);
 }
 
-/// Band-parallel fused edge detection with explicit scratch and plan.
+/// Band-parallel fused edge detection with explicit plan, run on the
+/// persistent worker pool.
 pub fn par_fused_edge_detect_with(
     src: &Image<u8>,
     dst: &mut Image<u8>,
     thresh: u8,
     engine: Engine,
-    scratch: &mut Scratch,
     plan: &BandPlan,
 ) {
     assert_eq!(src.width(), dst.width(), "width mismatch");
@@ -564,7 +638,29 @@ pub fn par_fused_edge_detect_with(
     let stride = dst.stride();
     let items = band_items(dst, plan);
     let spec = WorkspaceSpec::edge(src.width());
-    run_bands(items, spec, scratch, |item, dst_band, ws| {
+    run_bands(items, spec, |item, dst_band, ws| {
+        edge_band(src, dst_band, stride, item.y0, item.y1, thresh, engine, ws);
+    });
+}
+
+/// [`par_fused_edge_detect_with`] scheduled by per-call thread spawning
+/// (the dispatch-overhead baseline).
+pub fn par_fused_edge_detect_spawn_baseline(
+    src: &Image<u8>,
+    dst: &mut Image<u8>,
+    thresh: u8,
+    engine: Engine,
+    plan: &BandPlan,
+) {
+    assert_eq!(src.width(), dst.width(), "width mismatch");
+    assert_eq!(src.height(), dst.height(), "height mismatch");
+    if src.height() == 0 {
+        return;
+    }
+    let stride = dst.stride();
+    let items = band_items(dst, plan);
+    let spec = WorkspaceSpec::edge(src.width());
+    run_bands_spawn(items, spec, |item, dst_band, ws| {
         edge_band(src, dst_band, stride, item.y0, item.y1, thresh, engine, ws);
     });
 }
@@ -653,7 +749,6 @@ mod tests {
         // results must not change.
         let src = synthetic_image(61, 47, 109);
         let plan = BandPlan { band_rows: 3 };
-        let mut scratch = Scratch::new();
 
         let mut expect_u8 = Image::new(61, 47);
         gaussian_blur(&src, &mut expect_u8, Engine::Native);
@@ -663,7 +758,6 @@ mod tests {
             &mut got,
             &paper_gaussian_kernel(),
             Engine::Native,
-            &mut scratch,
             &plan,
         );
         assert!(got.pixels_eq(&expect_u8), "gaussian");
@@ -672,13 +766,61 @@ mod tests {
             let mut expect_i16 = Image::new(61, 47);
             sobel(&src, &mut expect_i16, dir, Engine::Native);
             let mut got = Image::new(61, 47);
-            par_fused_sobel_with(&src, &mut got, dir, Engine::Native, &mut scratch, &plan);
+            par_fused_sobel_with(&src, &mut got, dir, Engine::Native, &plan);
             assert!(got.pixels_eq(&expect_i16), "sobel {dir:?}");
         }
 
         edge_detect(&src, &mut expect_u8, 96, Engine::Native);
-        par_fused_edge_detect_with(&src, &mut got, 96, Engine::Native, &mut scratch, &plan);
+        par_fused_edge_detect_with(&src, &mut got, 96, Engine::Native, &plan);
         assert!(got.pixels_eq(&expect_u8), "edge");
+    }
+
+    #[test]
+    fn spawn_baselines_match_pool_scheduling() {
+        // Same band maths under both schedulers — outputs must be
+        // bit-identical regardless of which threads ran the bands.
+        let src = synthetic_image(97, 53, 131);
+        let plan = BandPlan { band_rows: 5 };
+
+        let mut pool_u8 = Image::new(97, 53);
+        par_fused_gaussian_blur_with(
+            &src,
+            &mut pool_u8,
+            &paper_gaussian_kernel(),
+            Engine::Native,
+            &plan,
+        );
+        let mut spawn_u8 = Image::new(97, 53);
+        par_fused_gaussian_blur_spawn_baseline(
+            &src,
+            &mut spawn_u8,
+            &paper_gaussian_kernel(),
+            Engine::Native,
+            &plan,
+        );
+        assert!(spawn_u8.pixels_eq(&pool_u8), "gaussian");
+
+        let mut pool_i16 = Image::new(97, 53);
+        par_fused_sobel_with(
+            &src,
+            &mut pool_i16,
+            SobelDirection::X,
+            Engine::Native,
+            &plan,
+        );
+        let mut spawn_i16 = Image::new(97, 53);
+        par_fused_sobel_spawn_baseline(
+            &src,
+            &mut spawn_i16,
+            SobelDirection::X,
+            Engine::Native,
+            &plan,
+        );
+        assert!(spawn_i16.pixels_eq(&pool_i16), "sobel");
+
+        par_fused_edge_detect_with(&src, &mut pool_u8, 96, Engine::Native, &plan);
+        par_fused_edge_detect_spawn_baseline(&src, &mut spawn_u8, 96, Engine::Native, &plan);
+        assert!(spawn_u8.pixels_eq(&pool_u8), "edge");
     }
 
     #[test]
@@ -688,8 +830,10 @@ mod tests {
         let mut scratch = Scratch::new();
         let plan = BandPlan { band_rows: 50 };
 
-        // Cold runs populate the arena.
-        par_fused_edge_detect_with(&src, &mut dst, 96, Engine::Native, &mut scratch, &plan);
+        // Cold runs populate the arenas: the caller arena for the
+        // sequential path, the worker thread-local arenas for the
+        // parallel path (inline on this thread at width 1).
+        par_fused_edge_detect_with(&src, &mut dst, 96, Engine::Native, &plan);
         fused_gaussian_blur_with(
             &src,
             &mut dst,
@@ -698,10 +842,11 @@ mod tests {
             &mut scratch,
         );
         let warm = scratch.fresh_allocs();
+        let warm_worker = crate::scratch::worker_arena_fresh_allocs();
 
-        // Warm runs must not touch the allocator through the arena.
+        // Warm runs must not touch the allocator through either arena.
         for _ in 0..3 {
-            par_fused_edge_detect_with(&src, &mut dst, 96, Engine::Native, &mut scratch, &plan);
+            par_fused_edge_detect_with(&src, &mut dst, 96, Engine::Native, &plan);
             fused_gaussian_blur_with(
                 &src,
                 &mut dst,
@@ -711,6 +856,11 @@ mod tests {
             );
         }
         assert_eq!(scratch.fresh_allocs(), warm, "warm run allocated buffers");
+        assert_eq!(
+            crate::scratch::worker_arena_fresh_allocs(),
+            warm_worker,
+            "warm parallel run grew the worker arena"
+        );
     }
 
     #[test]
@@ -725,7 +875,9 @@ mod tests {
         fused_gaussian_blur_with(&src, &mut got, &kernel, Engine::Native, &mut scratch);
         assert!(got.pixels_eq(&expect));
         let plan = BandPlan::for_width(60);
-        par_fused_gaussian_blur_with(&src, &mut got, &kernel, Engine::Native, &mut scratch, &plan);
+        par_fused_gaussian_blur_with(&src, &mut got, &kernel, Engine::Native, &plan);
+        assert!(got.pixels_eq(&expect));
+        par_fused_gaussian_blur_spawn_baseline(&src, &mut got, &kernel, Engine::Native, &plan);
         assert!(got.pixels_eq(&expect));
     }
 }

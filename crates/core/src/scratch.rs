@@ -242,9 +242,72 @@ impl Scratch {
     }
 }
 
+thread_local! {
+    /// Per-thread arena used by the parallel band drivers. Pool worker
+    /// threads are persistent, so each worker's arena warms once and then
+    /// serves every subsequent band it processes without touching the
+    /// allocator; the main thread's arena plays the same role for the
+    /// inline (width-1 / nested) path.
+    static WORKER_SCRATCH: std::cell::RefCell<Scratch> =
+        std::cell::RefCell::new(Scratch::new());
+}
+
+/// Runs `f` with a workspace checked out from the calling thread's
+/// persistent arena.
+///
+/// This is how the zero-allocation ledger extends to the parallel path:
+/// band tasks are scheduled dynamically (a worker may run any band, for
+/// any kernel shape), so workspaces cannot be pre-bound to bands; instead
+/// each worker owns an arena for the life of the thread. The workspace is
+/// not returned to the arena if `f` panics — the next checkout then
+/// simply allocates a fresh one.
+pub fn with_worker_workspace<R>(spec: WorkspaceSpec, f: impl FnOnce(&mut BandWorkspace) -> R) -> R {
+    let mut ws = WORKER_SCRATCH.with(|cell| cell.borrow_mut().checkout(spec));
+    let out = f(&mut ws);
+    WORKER_SCRATCH.with(|cell| cell.borrow_mut().give_back(ws));
+    out
+}
+
+/// Number of buffer allocations the calling thread's worker arena has
+/// performed (its [`Scratch::fresh_allocs`] ledger).
+pub fn worker_arena_fresh_allocs() -> usize {
+    WORKER_SCRATCH.with(|cell| cell.borrow().fresh_allocs())
+}
+
+/// Pre-warms the worker arenas of **every live pool worker** (and the
+/// calling thread) for the given workspace shapes, so a subsequent
+/// parallel band loop at the current thread width performs no worker-side
+/// allocations even on its first call. Used by benchmarks and the
+/// allocator-level zero-alloc tests to make warmth deterministic — with
+/// dynamic scheduling there is otherwise no guarantee which worker first
+/// sees which kernel shape.
+pub fn warm_worker_arenas(specs: &[WorkspaceSpec]) {
+    rayon::broadcast(|_| {
+        for &spec in specs {
+            with_worker_workspace(spec, |_| ());
+        }
+    });
+    for &spec in specs {
+        with_worker_workspace(spec, |_| ());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn worker_workspace_is_warm_after_first_use() {
+        let spec = WorkspaceSpec::edge(320);
+        with_worker_workspace(spec, |ws| {
+            assert!(ws.ring_a.len() >= 3 && ws.row_u8.len() >= 320);
+        });
+        let warm = worker_arena_fresh_allocs();
+        for _ in 0..3 {
+            with_worker_workspace(spec, |_| ());
+        }
+        assert_eq!(worker_arena_fresh_allocs(), warm);
+    }
 
     #[test]
     fn cold_checkout_allocates_warm_checkout_does_not() {

@@ -14,7 +14,6 @@ use simdbench_core::pipeline::{
     fused_edge_detect, fused_gaussian_blur, fused_sobel, par_fused_edge_detect_with,
     par_fused_gaussian_blur_with, par_fused_sobel_with, BandPlan,
 };
-use simdbench_core::scratch::Scratch;
 use simdbench_core::sobel::{sobel, SobelDirection};
 
 /// Widths straddling the SSE/NEON 8- and 16-lane boundaries, plus widths
@@ -117,46 +116,46 @@ fn ragged_band_tails_are_bit_exact() {
     // sequential result exactly.
     let (w, h) = (41, 29);
     let src = synthetic_image(w, h, 151);
-    let mut scratch = Scratch::new();
-    for band_rows in [1usize, 2, 3, 5, 7, 13, 28, 29, 64] {
-        let plan = BandPlan { band_rows };
+    // A 4-wide install forces the persistent pool to actually schedule
+    // bands across workers (instead of the width-1 inline path on
+    // single-core hosts), so seam priming is validated under stealing.
+    let wide = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .unwrap();
+    wide.install(|| {
+        for band_rows in [1usize, 2, 3, 5, 7, 13, 28, 29, 64] {
+            let plan = BandPlan { band_rows };
 
-        let mut expect_u8 = Image::new(w, h);
-        gaussian_blur(&src, &mut expect_u8, Engine::Native);
-        let mut got_u8 = Image::new(w, h);
-        par_fused_gaussian_blur_with(
-            &src,
-            &mut got_u8,
-            &paper_gaussian_kernel(),
-            Engine::Native,
-            &mut scratch,
-            &plan,
-        );
-        assert!(
-            got_u8.pixels_eq(&expect_u8),
-            "gaussian band_rows={band_rows}"
-        );
+            let mut expect_u8 = Image::new(w, h);
+            gaussian_blur(&src, &mut expect_u8, Engine::Native);
+            let mut got_u8 = Image::new(w, h);
+            par_fused_gaussian_blur_with(
+                &src,
+                &mut got_u8,
+                &paper_gaussian_kernel(),
+                Engine::Native,
+                &plan,
+            );
+            assert!(
+                got_u8.pixels_eq(&expect_u8),
+                "gaussian band_rows={band_rows}"
+            );
 
-        let mut expect_i16 = Image::new(w, h);
-        sobel(&src, &mut expect_i16, SobelDirection::X, Engine::Native);
-        let mut got_i16 = Image::new(w, h);
-        par_fused_sobel_with(
-            &src,
-            &mut got_i16,
-            SobelDirection::X,
-            Engine::Native,
-            &mut scratch,
-            &plan,
-        );
-        assert!(
-            got_i16.pixels_eq(&expect_i16),
-            "sobel band_rows={band_rows}"
-        );
+            let mut expect_i16 = Image::new(w, h);
+            sobel(&src, &mut expect_i16, SobelDirection::X, Engine::Native);
+            let mut got_i16 = Image::new(w, h);
+            par_fused_sobel_with(&src, &mut got_i16, SobelDirection::X, Engine::Native, &plan);
+            assert!(
+                got_i16.pixels_eq(&expect_i16),
+                "sobel band_rows={band_rows}"
+            );
 
-        edge_detect(&src, &mut expect_u8, 80, Engine::Native);
-        par_fused_edge_detect_with(&src, &mut got_u8, 80, Engine::Native, &mut scratch, &plan);
-        assert!(got_u8.pixels_eq(&expect_u8), "edge band_rows={band_rows}");
-    }
+            edge_detect(&src, &mut expect_u8, 80, Engine::Native);
+            par_fused_edge_detect_with(&src, &mut got_u8, 80, Engine::Native, &plan);
+            assert!(got_u8.pixels_eq(&expect_u8), "edge band_rows={band_rows}");
+        }
+    });
 }
 
 #[test]
@@ -166,7 +165,6 @@ fn paper_resolutions_are_bit_exact_for_fused_pipeline() {
     // engine's fused output must equal that engine's two-pass output,
     // which in turn equals the scalar reference (engine equivalence).
     use pixelimage::Resolution;
-    let mut scratch = Scratch::new();
     for res in Resolution::ALL {
         let (w, h) = res.dims();
         let src = synthetic_image(w, h, 7 + w as u64);
@@ -174,7 +172,7 @@ fn paper_resolutions_are_bit_exact_for_fused_pipeline() {
         edge_detect(&src, &mut expect, 96, Engine::Native);
         let mut got = Image::new(w, h);
         let plan = BandPlan::for_width(w);
-        par_fused_edge_detect_with(&src, &mut got, 96, Engine::Native, &mut scratch, &plan);
+        par_fused_edge_detect_with(&src, &mut got, 96, Engine::Native, &plan);
         assert!(got.pixels_eq(&expect), "{res:?} edge");
 
         gaussian_blur(&src, &mut expect, Engine::Native);
@@ -183,7 +181,6 @@ fn paper_resolutions_are_bit_exact_for_fused_pipeline() {
             &mut got,
             &paper_gaussian_kernel(),
             Engine::Native,
-            &mut scratch,
             &plan,
         );
         assert!(got.pixels_eq(&expect), "{res:?} gaussian");

@@ -9,6 +9,7 @@
 //! repro energy                 # A4 energy-efficiency extension
 //! repro host [--quick] [--full] [--csv FILE]  # AUTO vs HAND on THIS machine
 //! repro fused [--quick] [--full] [--csv FILE] # fused vs two-pass pipeline
+//! repro parallel [--quick] [--full] [--csv FILE] # pool vs per-call-spawn dispatch
 //! repro csv [dir]              # write every table/figure as CSV files
 //! repro all                    # everything except host mode
 //! ```
@@ -35,6 +36,7 @@ fn main() {
         "energy" => energy(),
         "host" => host_mode(&args[1..]),
         "fused" => fused_mode(&args[1..]),
+        "parallel" => parallel_mode(&args[1..]),
         "csv" => {
             let dir = args.get(1).cloned().unwrap_or_else(|| "results".into());
             if let Err(e) = write_csvs(&dir) {
@@ -60,7 +62,7 @@ fn main() {
         other => {
             eprintln!("unknown command: {other}");
             eprintln!(
-                "usage: repro [table1|table2|table3|figure2..figure6|asm-analysis|energy|host|fused|all]"
+                "usage: repro [table1|table2|table3|figure2..figure6|asm-analysis|energy|host|fused|parallel|all]"
             );
             std::process::exit(2);
         }
@@ -199,6 +201,90 @@ fn fused_mode(args: &[String]) {
                 two_pass.seconds,
                 fused.seconds,
                 two_pass.seconds / fused.seconds
+            ));
+        }
+    }
+    if let Some(path) = csv_path {
+        if let Err(e) = std::fs::write(&path, csv) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nwrote {path}");
+    }
+}
+
+/// Parallel mode: dispatch overhead of the persistent work-stealing pool
+/// vs the per-call-spawn baseline, under the paper's timing protocol.
+/// The pool is installed at width 4 so the real scheduler runs even on
+/// single-core hosts (ISSUE 2: dispatch overhead dominated exactly where
+/// the paper's low-powered-platform story lives).
+fn parallel_mode(args: &[String]) {
+    use repro_harness::timing::{measure_fused, measure_parallel, ParallelMode};
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let full = args.iter().any(|a| a == "--full");
+    let csv_path = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let config = if quick {
+        HostConfig::quick()
+    } else {
+        HostConfig::default()
+    };
+    let resolutions: &[Resolution] = if full {
+        &Resolution::ALL
+    } else if quick {
+        &[Resolution::Vga]
+    } else {
+        &[Resolution::Vga, Resolution::Mp1]
+    };
+    const STENCILS: [Kernel; 3] = [Kernel::Gaussian, Kernel::Sobel, Kernel::Edge];
+    const WIDTH: usize = 4;
+
+    println!("Parallel mode: persistent pool vs per-call thread spawning (native engine)");
+    println!(
+        "pool width {WIDTH}; protocol: {} images x {} cycles per point\n",
+        config.images, config.cycles
+    );
+    println!(
+        "{:<10} {:>11} {:>12} {:>12} {:>12} {:>9}",
+        "kernel", "image", "seq (s)", "spawn (s)", "pool (s)", "pool gain"
+    );
+    let mut csv = String::from("kernel,image,seq_seconds,spawn_seconds,pool_seconds,pool_gain\n");
+    let engine = host_hand_engine();
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(WIDTH)
+        .build()
+        .expect("pool build");
+    for &res in resolutions {
+        let work = WorkSet::new(res, config.images);
+        for kernel in STENCILS {
+            let seq = measure_fused(kernel, engine, &work, &config);
+            let (spawn, pooled) = pool.install(|| {
+                (
+                    measure_parallel(kernel, engine, ParallelMode::SpawnPerCall, &work, &config),
+                    measure_parallel(kernel, engine, ParallelMode::Pool, &work, &config),
+                )
+            });
+            println!(
+                "{:<10} {:>11} {:>12.6} {:>12.6} {:>12.6} {:>8.2}x",
+                kernel.table3_label(),
+                res.label(),
+                seq.seconds,
+                spawn.seconds,
+                pooled.seconds,
+                spawn.seconds / pooled.seconds
+            );
+            csv.push_str(&format!(
+                "{},{},{:.6},{:.6},{:.6},{:.3}\n",
+                kernel.table3_label(),
+                res.label(),
+                seq.seconds,
+                spawn.seconds,
+                pooled.seconds,
+                spawn.seconds / pooled.seconds
             ));
         }
     }

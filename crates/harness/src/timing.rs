@@ -214,6 +214,92 @@ pub fn measure_fused(
     }
 }
 
+/// Which scheduler drives a parallel measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParallelMode {
+    /// The persistent work-stealing pool (`par_fused_*_with`).
+    Pool,
+    /// Per-call `std::thread` spawning — the pre-pool baseline, kept
+    /// solely so the dispatch-overhead improvement stays measurable.
+    SpawnPerCall,
+}
+
+/// Times the band-parallel fused pipeline for one stencil kernel under
+/// the chosen [`ParallelMode`], with the same paper protocol as
+/// [`measure`]. Pointwise kernels have no banded variant and return via
+/// [`measure`] unchanged (their row loops go through the same pool, but
+/// the pool-vs-spawn comparison is the stencils' dispatch story).
+pub fn measure_parallel(
+    kernel: Kernel,
+    engine: Engine,
+    mode: ParallelMode,
+    work: &WorkSet,
+    config: &HostConfig,
+) -> HostMeasurement {
+    use simdbench_core::kernelgen::paper_gaussian_kernel;
+    use simdbench_core::pipeline::{
+        par_fused_edge_detect_spawn_baseline, par_fused_edge_detect_with,
+        par_fused_gaussian_blur_spawn_baseline, par_fused_gaussian_blur_with,
+        par_fused_sobel_spawn_baseline, par_fused_sobel_with, BandPlan,
+    };
+
+    if matches!(kernel, Kernel::Convert | Kernel::Threshold) {
+        return measure(kernel, engine, work, config);
+    }
+
+    let (w, h) = work.resolution.dims();
+    let mut dst_u8 = Image::<u8>::new(w, h);
+    let mut dst_i16 = Image::<i16>::new(w, h);
+    let gk = paper_gaussian_kernel();
+    let plan = BandPlan::for_width(w);
+
+    let mut run_once = |img_idx: usize| {
+        let src = &work.gray[img_idx];
+        match (kernel, mode) {
+            (Kernel::Gaussian, ParallelMode::Pool) => {
+                par_fused_gaussian_blur_with(src, &mut dst_u8, &gk, engine, &plan);
+            }
+            (Kernel::Gaussian, ParallelMode::SpawnPerCall) => {
+                par_fused_gaussian_blur_spawn_baseline(src, &mut dst_u8, &gk, engine, &plan);
+            }
+            (Kernel::Sobel, ParallelMode::Pool) => {
+                par_fused_sobel_with(src, &mut dst_i16, SobelDirection::X, engine, &plan);
+            }
+            (Kernel::Sobel, ParallelMode::SpawnPerCall) => {
+                par_fused_sobel_spawn_baseline(src, &mut dst_i16, SobelDirection::X, engine, &plan);
+            }
+            (Kernel::Edge, ParallelMode::Pool) => {
+                par_fused_edge_detect_with(src, &mut dst_u8, 96, engine, &plan);
+            }
+            (Kernel::Edge, ParallelMode::SpawnPerCall) => {
+                par_fused_edge_detect_spawn_baseline(src, &mut dst_u8, 96, engine, &plan);
+            }
+            (Kernel::Convert | Kernel::Threshold, _) => unreachable!("handled above"),
+        }
+    };
+
+    for i in 0..config.warmup.min(work.gray.len()) {
+        run_once(i);
+    }
+
+    let runs = config.images.min(work.gray.len()) * config.cycles;
+    let start = Instant::now();
+    for _cycle in 0..config.cycles {
+        for img_idx in 0..config.images.min(work.gray.len()) {
+            run_once(img_idx);
+        }
+    }
+    let total = start.elapsed().as_secs_f64();
+
+    HostMeasurement {
+        kernel,
+        engine,
+        resolution: work.resolution,
+        seconds: total / runs as f64,
+        runs,
+    }
+}
+
 /// The host's AUTO engine (compiler auto-vectorized source) — the fair
 /// analogue of the paper's `-O3` builds.
 pub fn host_auto_engine() -> Engine {
@@ -269,6 +355,27 @@ mod tests {
         assert_eq!(m.runs, 4);
         // Pointwise kernels route through the plain measurement.
         let m = measure_fused(Kernel::Threshold, Engine::Native, &work, &config);
+        assert!(m.seconds > 0.0);
+    }
+
+    #[test]
+    fn parallel_measurement_produces_sane_numbers() {
+        let work = WorkSet::new(Resolution::Vga, 2);
+        let config = HostConfig::quick();
+        for mode in [ParallelMode::Pool, ParallelMode::SpawnPerCall] {
+            let m = measure_parallel(Kernel::Edge, Engine::Native, mode, &work, &config);
+            assert!(m.seconds > 0.0, "{mode:?}");
+            assert!(m.seconds < 1.0, "VGA parallel edge should be far under 1s");
+            assert_eq!(m.runs, 4);
+        }
+        // Pointwise kernels route through the plain measurement.
+        let m = measure_parallel(
+            Kernel::Convert,
+            Engine::Native,
+            ParallelMode::Pool,
+            &work,
+            &config,
+        );
         assert!(m.seconds > 0.0);
     }
 

@@ -100,6 +100,29 @@ fn repro_fused_quick_reports_speedups() {
 }
 
 #[test]
+fn repro_parallel_quick_reports_dispatch_gain() {
+    let dir = temp_dir("parallel");
+    let csv = dir.join("parallel.csv");
+    let out = repro()
+        .args(["parallel", "--quick", "--csv", csv.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("persistent pool vs per-call thread spawning"));
+    assert!(text.contains("pool gain"));
+    let csv_text = std::fs::read_to_string(&csv).unwrap();
+    // Header + the three stencil kernels at VGA.
+    assert_eq!(csv_text.lines().count(), 4);
+    assert!(csv_text.starts_with("kernel,image,seq_seconds,spawn_seconds,pool_seconds,pool_gain"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn repro_rejects_unknown_command() {
     let out = repro().arg("bogus").output().unwrap();
     assert!(!out.status.success());

@@ -7,6 +7,9 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> pool stress (scheduler regressions fail fast)"
+cargo test -q -p rayon pool_stress_many_small_calls
+
 echo "==> cargo test -q"
 cargo test -q
 
