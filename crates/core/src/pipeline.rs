@@ -129,6 +129,33 @@ fn clamp_row(y: isize, height: usize) -> usize {
     y.clamp(0, height as isize - 1) as usize
 }
 
+/// Telemetry bookkeeping shared by the three band bodies: one band
+/// processed, `halo` horizontal rows recomputed (rows below `y0` that the
+/// previous band's ring already produced), and the band's wall time into
+/// the latency histogram. Costs four flag branches when telemetry is off.
+struct BandTelemetry {
+    timer: Option<std::time::Instant>,
+    halo: usize,
+}
+
+impl BandTelemetry {
+    #[inline]
+    fn start(y0: usize, first_h_row: usize) -> Self {
+        BandTelemetry {
+            timer: obs::start_timer(),
+            halo: y0 - first_h_row,
+        }
+    }
+}
+
+impl Drop for BandTelemetry {
+    fn drop(&mut self) {
+        obs::add(obs::Counter::PipelineBands, 1);
+        obs::add(obs::Counter::PipelineHaloRows, self.halo as u64);
+        obs::stop_timer(obs::HistId::PipelineBandNanos, self.timer);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Fused Gaussian
 // ---------------------------------------------------------------------------
@@ -151,6 +178,7 @@ pub fn fused_gaussian_blur_with(
     engine: Engine,
     scratch: &mut Scratch,
 ) {
+    let _span = obs::span("fused.gaussian");
     assert_eq!(src.width(), dst.width(), "width mismatch");
     assert_eq!(src.height(), dst.height(), "height mismatch");
     assert_eq!(kernel.sum(), 256, "kernel must be Q8-normalised");
@@ -194,6 +222,7 @@ fn gaussian_band(
     // `row % k`; at output row y the taps span [y - r, y + r] (clamped),
     // exactly the k most recent rows.
     let mut next = (y0 as isize - r as isize).max(0) as usize;
+    let _telemetry = BandTelemetry::start(y0, next);
     for y in y0..y1 {
         let need = (y + r).min(height - 1);
         while next <= need {
@@ -242,6 +271,7 @@ pub fn fused_sobel_with(
 ) {
     assert_eq!(src.width(), dst.width(), "width mismatch");
     assert_eq!(src.height(), dst.height(), "height mismatch");
+    let _span = obs::span("fused.sobel");
     if src.height() == 0 {
         return;
     }
@@ -270,6 +300,7 @@ fn sobel_band(
     let width = src.width();
     let height = src.height();
     let mut next = (y0 as isize - 1).max(0) as usize;
+    let _telemetry = BandTelemetry::start(y0, next);
     for y in y0..y1 {
         let need = (y + 1).min(height - 1);
         while next <= need {
@@ -315,6 +346,7 @@ pub fn fused_edge_detect_with(
 ) {
     assert_eq!(src.width(), dst.width(), "width mismatch");
     assert_eq!(src.height(), dst.height(), "height mismatch");
+    let _span = obs::span("fused.edge");
     if src.height() == 0 {
         return;
     }
@@ -346,6 +378,7 @@ fn edge_band(
     let width = src.width();
     let height = src.height();
     let mut next = (y0 as isize - 1).max(0) as usize;
+    let _telemetry = BandTelemetry::start(y0, next);
     for y in y0..y1 {
         let need = (y + 1).min(height - 1);
         while next <= need {
@@ -459,6 +492,7 @@ where
 {
     let work_ref = &work;
     items.into_par_iter().for_each(move |mut item| {
+        let _span = obs::span("pool.band");
         with_worker_workspace(spec, |ws| {
             let dst = std::mem::take(&mut item.dst);
             work_ref(&item, dst, ws);
@@ -520,6 +554,7 @@ pub fn par_fused_gaussian_blur_with(
     engine: Engine,
     plan: &BandPlan,
 ) {
+    let _span = obs::span("par_fused.gaussian");
     assert_eq!(src.width(), dst.width(), "width mismatch");
     assert_eq!(src.height(), dst.height(), "height mismatch");
     assert_eq!(kernel.sum(), 256, "kernel must be Q8-normalised");
@@ -580,6 +615,7 @@ pub fn par_fused_sobel_with(
     engine: Engine,
     plan: &BandPlan,
 ) {
+    let _span = obs::span("par_fused.sobel");
     assert_eq!(src.width(), dst.width(), "width mismatch");
     assert_eq!(src.height(), dst.height(), "height mismatch");
     if src.height() == 0 {
@@ -630,6 +666,7 @@ pub fn par_fused_edge_detect_with(
     engine: Engine,
     plan: &BandPlan,
 ) {
+    let _span = obs::span("par_fused.edge");
     assert_eq!(src.width(), dst.width(), "width mismatch");
     assert_eq!(src.height(), dst.height(), "height mismatch");
     if src.height() == 0 {

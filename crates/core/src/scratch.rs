@@ -133,6 +133,7 @@ impl WorkspaceSpec {
 pub struct Scratch {
     pool: Vec<BandWorkspace>,
     fresh_allocs: usize,
+    live_bytes: usize,
 }
 
 impl Scratch {
@@ -144,6 +145,12 @@ impl Scratch {
     /// Number of buffer allocations (or growths) performed so far.
     pub fn fresh_allocs(&self) -> usize {
         self.fresh_allocs
+    }
+
+    /// Total bytes currently held by this arena's buffers (checked-out
+    /// workspaces included — give-backs don't change the total).
+    pub fn live_bytes(&self) -> usize {
+        self.live_bytes
     }
 
     /// Number of workspaces currently parked in the pool.
@@ -165,29 +172,27 @@ impl Scratch {
             Some(i) => self.pool.swap_remove(i),
             None => self.pool.pop().unwrap_or_default(),
         };
-        Self::ensure_ring(
-            &mut self.fresh_allocs,
-            &mut ws.ring_u16,
-            spec.u16_rows,
-            spec.width,
-        );
-        Self::ensure_ring(
-            &mut self.fresh_allocs,
-            &mut ws.ring_a,
-            spec.a_rows,
-            spec.width,
-        );
-        Self::ensure_ring(
-            &mut self.fresh_allocs,
-            &mut ws.ring_b,
-            spec.b_rows,
-            spec.width,
-        );
+        let (allocs_before, bytes_before) = (self.fresh_allocs, self.live_bytes);
+        let ledger = &mut (&mut self.fresh_allocs, &mut self.live_bytes);
+        Self::ensure_ring(ledger, &mut ws.ring_u16, spec.u16_rows, spec.width);
+        Self::ensure_ring(ledger, &mut ws.ring_a, spec.a_rows, spec.width);
+        Self::ensure_ring(ledger, &mut ws.ring_b, spec.b_rows, spec.width);
         if spec.row_temps {
-            Self::ensure_buf(&mut self.fresh_allocs, &mut ws.row_gx, spec.width);
-            Self::ensure_buf(&mut self.fresh_allocs, &mut ws.row_gy, spec.width);
-            Self::ensure_buf(&mut self.fresh_allocs, &mut ws.row_u8, spec.width);
+            Self::ensure_buf(ledger, &mut ws.row_gx, spec.width);
+            Self::ensure_buf(ledger, &mut ws.row_gy, spec.width);
+            Self::ensure_buf(ledger, &mut ws.row_u8, spec.width);
         }
+        if self.fresh_allocs > allocs_before {
+            obs::add(
+                obs::Counter::ScratchBuffersGrown,
+                (self.fresh_allocs - allocs_before) as u64,
+            );
+            obs::add(
+                obs::Counter::ScratchBytesAllocated,
+                (self.live_bytes - bytes_before) as u64,
+            );
+        }
+        obs::gauge_max(obs::Gauge::ScratchBytesHighWater, self.live_bytes as u64);
         ws
     }
 
@@ -216,7 +221,7 @@ impl Scratch {
     }
 
     fn ensure_ring<T: simd_vector::align::Pod>(
-        ledger: &mut usize,
+        ledger: &mut (&mut usize, &mut usize),
         ring: &mut Vec<AlignedBuf<T>>,
         rows: usize,
         width: usize,
@@ -225,18 +230,20 @@ impl Scratch {
             Self::ensure_buf(ledger, buf, width);
         }
         while ring.len() < rows {
-            *ledger += 1;
+            *ledger.0 += 1;
+            *ledger.1 += width * std::mem::size_of::<T>();
             ring.push(AlignedBuf::zeroed(width));
         }
     }
 
     fn ensure_buf<T: simd_vector::align::Pod>(
-        ledger: &mut usize,
+        ledger: &mut (&mut usize, &mut usize),
         buf: &mut AlignedBuf<T>,
         width: usize,
     ) {
         if buf.len() < width {
-            *ledger += 1;
+            *ledger.0 += 1;
+            *ledger.1 += (width - buf.len()) * std::mem::size_of::<T>();
             *buf = AlignedBuf::zeroed(width);
         }
     }
@@ -272,6 +279,12 @@ pub fn with_worker_workspace<R>(spec: WorkspaceSpec, f: impl FnOnce(&mut BandWor
 /// performed (its [`Scratch::fresh_allocs`] ledger).
 pub fn worker_arena_fresh_allocs() -> usize {
     WORKER_SCRATCH.with(|cell| cell.borrow().fresh_allocs())
+}
+
+/// Bytes currently held by the calling thread's worker arena (its
+/// [`Scratch::live_bytes`] ledger).
+pub fn worker_arena_live_bytes() -> usize {
+    WORKER_SCRATCH.with(|cell| cell.borrow().live_bytes())
 }
 
 /// Pre-warms the worker arenas of **every live pool worker** (and the
@@ -344,6 +357,24 @@ mod tests {
         scratch.give_back(ws);
         let ws = scratch.checkout(WorkspaceSpec::sobel(200));
         assert!(scratch.fresh_allocs() > cold, "growth must be visible");
+        scratch.give_back(ws);
+    }
+
+    #[test]
+    fn live_bytes_tracks_buffer_growth_exactly() {
+        let mut scratch = Scratch::new();
+        assert_eq!(scratch.live_bytes(), 0);
+        // Sobel spec: 3 i16 ring rows of `width` elements.
+        let ws = scratch.checkout(WorkspaceSpec::sobel(100));
+        assert_eq!(scratch.live_bytes(), 3 * 100 * 2);
+        scratch.give_back(ws);
+        // Warm checkout: no change.
+        let ws = scratch.checkout(WorkspaceSpec::sobel(100));
+        assert_eq!(scratch.live_bytes(), 3 * 100 * 2);
+        scratch.give_back(ws);
+        // Growth counts only the delta per buffer.
+        let ws = scratch.checkout(WorkspaceSpec::sobel(150));
+        assert_eq!(scratch.live_bytes(), 3 * 150 * 2);
         scratch.give_back(ws);
     }
 

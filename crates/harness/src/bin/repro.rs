@@ -10,9 +10,15 @@
 //! repro host [--quick] [--full] [--csv FILE]  # AUTO vs HAND on THIS machine
 //! repro fused [--quick] [--full] [--csv FILE] # fused vs two-pass pipeline
 //! repro parallel [--quick] [--full] [--csv FILE] # pool vs per-call-spawn dispatch
+//! repro stats [--full] [--json FILE] # instrumented exercise -> telemetry report
 //! repro csv [dir]              # write every table/figure as CSV files
 //! repro all                    # everything except host mode
 //! ```
+//!
+//! `host`, `fused` and `parallel` also accept `--telemetry` (optionally
+//! `--json FILE`, default `results/telemetry.json`): the run executes
+//! with the `obs` layer enabled and finishes with the span-tree /
+//! counter / histogram report plus a machine-readable JSON dump.
 
 use pixelimage::Resolution;
 use platform_model::{all_platforms, Isa, Kernel};
@@ -37,6 +43,7 @@ fn main() {
         "host" => host_mode(&args[1..]),
         "fused" => fused_mode(&args[1..]),
         "parallel" => parallel_mode(&args[1..]),
+        "stats" => stats_mode(&args[1..]),
         "csv" => {
             let dir = args.get(1).cloned().unwrap_or_else(|| "results".into());
             if let Err(e) = write_csvs(&dir) {
@@ -62,7 +69,7 @@ fn main() {
         other => {
             eprintln!("unknown command: {other}");
             eprintln!(
-                "usage: repro [table1|table2|table3|figure2..figure6|asm-analysis|energy|host|fused|parallel|all]"
+                "usage: repro [table1|table2|table3|figure2..figure6|asm-analysis|energy|host|fused|parallel|stats|all]"
             );
             std::process::exit(2);
         }
@@ -84,6 +91,101 @@ fn write_csvs(dir: &str) -> std::io::Result<()> {
     }
     println!("wrote table1-3.csv and figure2-6.csv to {}", dir.display());
     Ok(())
+}
+
+/// Returns the value following `flag` in `args`, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Parses the shared `--telemetry` flag; when present, enables the `obs`
+/// layer and clears any state left from process start-up so the report
+/// covers exactly this run.
+fn telemetry_requested(args: &[String]) -> bool {
+    let on = args.iter().any(|a| a == "--telemetry");
+    if on {
+        obs::set_enabled(true);
+        obs::reset();
+    }
+    on
+}
+
+/// Snapshots telemetry, prints the human-readable report, and writes the
+/// machine-readable JSON to `path` (creating parent directories).
+fn telemetry_report(path: &str) {
+    let snap = obs::snapshot();
+    println!();
+    print!("{}", snap.render());
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    match std::fs::write(path, snap.to_json()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Stats mode: run a short instrumented exercise of all three telemetry
+/// layers — the fused band pipeline (serial), the work-stealing pool
+/// (banded parallel), and the harness timing protocol — then print the
+/// full report and write the JSON dump.
+fn stats_mode(args: &[String]) {
+    use repro_harness::timing::{measure_fused, measure_parallel, ParallelMode};
+
+    let full = args.iter().any(|a| a == "--full");
+    let json_path = flag_value(args, "--json").unwrap_or_else(|| "results/telemetry.json".into());
+    let res = if full {
+        Resolution::Mp8
+    } else {
+        Resolution::Vga
+    };
+    let config = HostConfig::quick();
+    obs::set_enabled(true);
+    obs::reset();
+
+    println!(
+        "Stats mode: instrumented fused + pooled passes at {}",
+        res.label()
+    );
+    println!(
+        "protocol: {} images x {} cycles per point\n",
+        config.images, config.cycles
+    );
+    let work = WorkSet::new(res, config.images);
+    let engine = host_hand_engine();
+    const STENCILS: [Kernel; 3] = [Kernel::Gaussian, Kernel::Sobel, Kernel::Edge];
+    for kernel in STENCILS {
+        let m = measure_fused(kernel, engine, &work, &config);
+        println!(
+            "fused  {:<10} mean {:.6}s over {} passes",
+            kernel.table3_label(),
+            m.seconds,
+            m.runs
+        );
+    }
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .expect("pool build");
+    for kernel in STENCILS {
+        let m =
+            pool.install(|| measure_parallel(kernel, engine, ParallelMode::Pool, &work, &config));
+        println!(
+            "pooled {:<10} mean {:.6}s over {} passes",
+            kernel.table3_label(),
+            m.seconds,
+            m.runs
+        );
+    }
+    telemetry_report(&json_path);
 }
 
 /// Section V: instruction-stream comparison of HAND vs AUTO per kernel.
@@ -151,11 +253,10 @@ fn fused_mode(args: &[String]) {
 
     let quick = args.iter().any(|a| a == "--quick");
     let full = args.iter().any(|a| a == "--full");
-    let csv_path = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let csv_path = flag_value(args, "--csv");
+    let telemetry = telemetry_requested(args);
+    let telemetry_path =
+        flag_value(args, "--json").unwrap_or_else(|| "results/telemetry.json".into());
     let config = if quick {
         HostConfig::quick()
     } else {
@@ -211,6 +312,9 @@ fn fused_mode(args: &[String]) {
         }
         println!("\nwrote {path}");
     }
+    if telemetry {
+        telemetry_report(&telemetry_path);
+    }
 }
 
 /// Parallel mode: dispatch overhead of the persistent work-stealing pool
@@ -223,11 +327,10 @@ fn parallel_mode(args: &[String]) {
 
     let quick = args.iter().any(|a| a == "--quick");
     let full = args.iter().any(|a| a == "--full");
-    let csv_path = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let csv_path = flag_value(args, "--csv");
+    let telemetry = telemetry_requested(args);
+    let telemetry_path =
+        flag_value(args, "--json").unwrap_or_else(|| "results/telemetry.json".into());
     let config = if quick {
         HostConfig::quick()
     } else {
@@ -262,12 +365,15 @@ fn parallel_mode(args: &[String]) {
         let work = WorkSet::new(res, config.images);
         for kernel in STENCILS {
             let seq = measure_fused(kernel, engine, &work, &config);
-            let (spawn, pooled) = pool.install(|| {
-                (
-                    measure_parallel(kernel, engine, ParallelMode::SpawnPerCall, &work, &config),
-                    measure_parallel(kernel, engine, ParallelMode::Pool, &work, &config),
-                )
+            let spawn = pool.install(|| {
+                measure_parallel(kernel, engine, ParallelMode::SpawnPerCall, &work, &config)
             });
+            // Snapshot/reset lifecycle (DESIGN.md §9): the spawn-baseline
+            // arm runs its bands outside the pool, so its counters and
+            // span trees must not bleed into the pool arm's telemetry.
+            obs::reset();
+            let pooled = pool
+                .install(|| measure_parallel(kernel, engine, ParallelMode::Pool, &work, &config));
             println!(
                 "{:<10} {:>11} {:>12.6} {:>12.6} {:>12.6} {:>8.2}x",
                 kernel.table3_label(),
@@ -295,17 +401,27 @@ fn parallel_mode(args: &[String]) {
         }
         println!("\nwrote {path}");
     }
+    if telemetry {
+        // reset() runs between arms, so the report covers the pool arm
+        // of the final measured point — clean pool counters, no
+        // spawn-baseline bleed.
+        println!("\n(telemetry covers the final pool arm; obs::reset() isolates arms)");
+        telemetry_report(&telemetry_path);
+    }
 }
 
 /// Host mode: real measurements on this machine.
 fn host_mode(args: &[String]) {
+    use repro_harness::timing::HostMeasurement;
+
     let quick = args.iter().any(|a| a == "--quick");
     let full = args.iter().any(|a| a == "--full");
-    let csv_path = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let csv_path = flag_value(args, "--csv");
+    let telemetry = telemetry_requested(args);
+    let telemetry_path =
+        flag_value(args, "--json").unwrap_or_else(|| "results/telemetry.json".into());
+    let bench_path =
+        flag_value(args, "--bench-json").unwrap_or_else(|| "results/bench_host.json".into());
     let config = if quick {
         HostConfig::quick()
     } else {
@@ -329,6 +445,7 @@ fn host_mode(args: &[String]) {
         "kernel", "image", "AUTO (s)", "HAND (s)", "speed-up"
     );
     let mut csv = String::from("kernel,image,auto_seconds,hand_seconds,speedup\n");
+    let mut rows: Vec<HostMeasurement> = Vec::new();
     for &res in resolutions {
         let work = WorkSet::new(res, config.images);
         for kernel in Kernel::ALL {
@@ -350,13 +467,89 @@ fn host_mode(args: &[String]) {
                 hand.seconds,
                 auto.seconds / hand.seconds
             ));
+            rows.push(auto);
+            rows.push(hand);
         }
     }
+
+    println!("\nper-pass distribution (seconds):");
+    println!(
+        "{:<10} {:>11} {:>8} {:>11} {:>11} {:>11} {:>11} {:>11}",
+        "kernel", "image", "engine", "min", "median", "p95", "max", "stddev"
+    );
+    for m in &rows {
+        let s = m.stats();
+        println!(
+            "{:<10} {:>11} {:>8} {:>11.6} {:>11.6} {:>11.6} {:>11.6} {:>11.6}",
+            m.kernel.table3_label(),
+            m.resolution.label(),
+            m.engine.label(),
+            s.min,
+            s.median,
+            s.p95,
+            s.max,
+            s.stddev
+        );
+    }
+
+    if let Err(e) = write_bench_json(&bench_path, &config, &rows) {
+        eprintln!("cannot write {bench_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {bench_path}");
+
     if let Some(path) = csv_path {
         if let Err(e) = std::fs::write(&path, csv) {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
         }
-        println!("\nwrote {path}");
+        println!("wrote {path}");
     }
+    if telemetry {
+        telemetry_report(&telemetry_path);
+    }
+}
+
+/// Writes the machine-readable host benchmark dump: one record per
+/// (kernel, engine, resolution) point with the full distribution summary,
+/// consumed by `scripts_merge_bench.py` to populate the BENCH trajectory.
+fn write_bench_json(
+    path: &str,
+    config: &HostConfig,
+    rows: &[repro_harness::timing::HostMeasurement],
+) -> std::io::Result<()> {
+    use obs::json::number;
+
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"protocol\": {{\"images\": {}, \"cycles\": {}, \"warmup\": {}}},\n",
+        config.images, config.cycles, config.warmup
+    ));
+    out.push_str("  \"measurements\": [\n");
+    for (i, m) in rows.iter().enumerate() {
+        let s = m.stats();
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"engine\": \"{}\", \"image\": \"{}\", \"runs\": {}, \
+             \"mean_s\": {}, \"min_s\": {}, \"median_s\": {}, \"p95_s\": {}, \"max_s\": {}, \
+             \"stddev_s\": {}}}{}\n",
+            m.kernel.table3_label(),
+            m.engine.label(),
+            m.resolution.label(),
+            m.runs,
+            number(m.seconds),
+            number(s.min),
+            number(s.median),
+            number(s.p95),
+            number(s.max),
+            number(s.stddev),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, out)
 }

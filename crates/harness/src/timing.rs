@@ -43,7 +43,12 @@ impl HostConfig {
     }
 }
 
-/// One averaged host measurement.
+/// One host measurement: the mean plus every timed pass.
+///
+/// The paper's 5 × 25 protocol produces 125 samples per point; keeping
+/// them (instead of only the mean) is what lets `repro host` report
+/// min/median/p95/max/stddev — warm-up drift and steal-contention tails
+/// are invisible in a single average.
 #[derive(Debug, Clone)]
 pub struct HostMeasurement {
     /// Which kernel ran.
@@ -56,6 +61,44 @@ pub struct HostMeasurement {
     pub seconds: f64,
     /// Total passes timed.
     pub runs: usize,
+    /// Per-pass wall seconds, in execution order (`runs` entries).
+    pub samples: Vec<f64>,
+}
+
+impl HostMeasurement {
+    /// Distribution summary of the per-pass samples.
+    pub fn stats(&self) -> obs::stats::SampleStats {
+        obs::stats::SampleStats::from_samples(&self.samples)
+    }
+}
+
+/// Runs the paper protocol over `run_once`: warm-up passes untimed, then
+/// `images × cycles` individually-timed passes. Each pass also feeds the
+/// `harness.pass_ns` telemetry histogram when telemetry is enabled.
+/// Returns `(mean_seconds, samples)`.
+fn run_protocol(
+    work: &WorkSet,
+    config: &HostConfig,
+    mut run_once: impl FnMut(usize),
+) -> (f64, Vec<f64>) {
+    for i in 0..config.warmup.min(work.gray.len()) {
+        run_once(i);
+    }
+    let per_cycle = config.images.min(work.gray.len());
+    let runs = per_cycle * config.cycles;
+    let mut samples = Vec::with_capacity(runs);
+    for _cycle in 0..config.cycles {
+        for img_idx in 0..per_cycle {
+            let start = Instant::now();
+            run_once(img_idx);
+            let elapsed = start.elapsed();
+            obs::add(obs::Counter::HarnessPasses, 1);
+            obs::record(obs::HistId::HarnessPassNanos, elapsed.as_nanos() as u64);
+            samples.push(elapsed.as_secs_f64());
+        }
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len().max(1) as f64;
+    (mean, samples)
 }
 
 /// Pre-generated inputs for one resolution (shared across engines so every
@@ -96,7 +139,8 @@ pub fn measure(
     let mut dst_u8 = Image::<u8>::new(w, h);
     let mut dst_i16 = Image::<i16>::new(w, h);
 
-    let mut run_once = |img_idx: usize| match kernel {
+    let _span = obs::span(kernel.table3_label());
+    let run_once = |img_idx: usize| match kernel {
         Kernel::Convert => {
             convert_f32_to_i16(&work.float[img_idx], &mut dst_i16, engine);
         }
@@ -121,26 +165,14 @@ pub fn measure(
         }
     };
 
-    for i in 0..config.warmup.min(work.gray.len()) {
-        run_once(i);
-    }
-
-    let runs = config.images.min(work.gray.len()) * config.cycles;
-    let start = Instant::now();
-    for cycle in 0..config.cycles {
-        let _ = cycle;
-        for img_idx in 0..config.images.min(work.gray.len()) {
-            run_once(img_idx);
-        }
-    }
-    let total = start.elapsed().as_secs_f64();
-
+    let (mean, samples) = run_protocol(work, config, run_once);
     HostMeasurement {
         kernel,
         engine,
         resolution: work.resolution,
-        seconds: total / runs as f64,
-        runs,
+        seconds: mean,
+        runs: samples.len(),
+        samples,
     }
 }
 
@@ -173,7 +205,8 @@ pub fn measure_fused(
     let mut scratch = Scratch::new();
     let gk = paper_gaussian_kernel();
 
-    let mut run_once = |img_idx: usize| match kernel {
+    let _span = obs::span(kernel.table3_label());
+    let run_once = |img_idx: usize| match kernel {
         Kernel::Gaussian => {
             fused_gaussian_blur_with(&work.gray[img_idx], &mut dst_u8, &gk, engine, &mut scratch);
         }
@@ -192,25 +225,14 @@ pub fn measure_fused(
         Kernel::Convert | Kernel::Threshold => unreachable!("handled above"),
     };
 
-    for i in 0..config.warmup.min(work.gray.len()) {
-        run_once(i);
-    }
-
-    let runs = config.images.min(work.gray.len()) * config.cycles;
-    let start = Instant::now();
-    for _cycle in 0..config.cycles {
-        for img_idx in 0..config.images.min(work.gray.len()) {
-            run_once(img_idx);
-        }
-    }
-    let total = start.elapsed().as_secs_f64();
-
+    let (mean, samples) = run_protocol(work, config, run_once);
     HostMeasurement {
         kernel,
         engine,
         resolution: work.resolution,
-        seconds: total / runs as f64,
-        runs,
+        seconds: mean,
+        runs: samples.len(),
+        samples,
     }
 }
 
@@ -253,7 +275,8 @@ pub fn measure_parallel(
     let gk = paper_gaussian_kernel();
     let plan = BandPlan::for_width(w);
 
-    let mut run_once = |img_idx: usize| {
+    let _span = obs::span(kernel.table3_label());
+    let run_once = |img_idx: usize| {
         let src = &work.gray[img_idx];
         match (kernel, mode) {
             (Kernel::Gaussian, ParallelMode::Pool) => {
@@ -278,25 +301,14 @@ pub fn measure_parallel(
         }
     };
 
-    for i in 0..config.warmup.min(work.gray.len()) {
-        run_once(i);
-    }
-
-    let runs = config.images.min(work.gray.len()) * config.cycles;
-    let start = Instant::now();
-    for _cycle in 0..config.cycles {
-        for img_idx in 0..config.images.min(work.gray.len()) {
-            run_once(img_idx);
-        }
-    }
-    let total = start.elapsed().as_secs_f64();
-
+    let (mean, samples) = run_protocol(work, config, run_once);
     HostMeasurement {
         kernel,
         engine,
         resolution: work.resolution,
-        seconds: total / runs as f64,
-        runs,
+        seconds: mean,
+        runs: samples.len(),
+        samples,
     }
 }
 
@@ -323,6 +335,20 @@ mod tests {
         assert!(m.seconds > 0.0);
         assert!(m.seconds < 1.0, "VGA threshold should be far under 1s");
         assert_eq!(m.runs, 4);
+    }
+
+    #[test]
+    fn measurement_retains_per_pass_samples() {
+        let work = WorkSet::new(Resolution::Vga, 2);
+        let config = HostConfig::quick();
+        let m = measure(Kernel::Threshold, Engine::Native, &work, &config);
+        assert_eq!(m.samples.len(), m.runs);
+        let mean = m.samples.iter().sum::<f64>() / m.samples.len() as f64;
+        assert!((mean - m.seconds).abs() < 1e-12);
+        let s = m.stats();
+        assert_eq!(s.count, 4);
+        assert!(s.min <= s.median && s.median <= s.p95 && s.p95 <= s.max);
+        assert!(s.stddev >= 0.0);
     }
 
     #[test]

@@ -123,6 +123,73 @@ fn repro_parallel_quick_reports_dispatch_gain() {
 }
 
 #[test]
+fn repro_host_telemetry_prints_report_and_writes_json() {
+    let dir = temp_dir("host-telemetry");
+    let telemetry = dir.join("telemetry.json");
+    let bench = dir.join("bench_host.json");
+    let out = repro()
+        .args(["host", "--quick", "--telemetry"])
+        .args(["--json", telemetry.to_str().unwrap()])
+        .args(["--bench-json", bench.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    // Distribution stats from the retained per-pass samples.
+    assert!(text.contains("per-pass distribution"));
+    assert!(text.contains("median"));
+    assert!(text.contains("stddev"));
+    // Telemetry report sections.
+    assert!(text.contains("span tree"));
+    assert!(text.contains("harness.passes"));
+    assert!(text.contains("harness.pass_ns"));
+
+    let json = std::fs::read_to_string(&telemetry).unwrap();
+    assert!(json.trim_start().starts_with('{'));
+    assert!(json.contains("\"counters\""));
+    assert!(json.contains("\"histograms\""));
+    assert!(json.contains("\"spans\""));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+    let bench_json = std::fs::read_to_string(&bench).unwrap();
+    assert!(bench_json.contains("\"measurements\""));
+    assert!(bench_json.contains("\"median_s\""));
+    // 5 kernels x 2 engines at VGA.
+    assert_eq!(bench_json.matches("\"kernel\"").count(), 10);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn repro_stats_reports_all_three_layers() {
+    let dir = temp_dir("stats");
+    let telemetry = dir.join("telemetry.json");
+    let out = repro()
+        .args(["stats", "--json", telemetry.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    // Pipeline, pool, and harness layers all show up in one report.
+    assert!(text.contains("pipeline.bands"));
+    assert!(text.contains("pool.steals"));
+    assert!(text.contains("harness.passes"));
+    assert!(text.contains("steals by victim"));
+    assert!(text.contains("fused.gaussian"));
+    let json = std::fs::read_to_string(&telemetry).unwrap();
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn repro_rejects_unknown_command() {
     let out = repro().arg("bogus").output().unwrap();
     assert!(!out.status.success());

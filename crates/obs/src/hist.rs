@@ -1,0 +1,273 @@
+//! Fixed-bucket log-scale histograms.
+//!
+//! Sixty-four power-of-two buckets cover the full `u64` range: bucket 0
+//! holds the value 0, bucket `b ≥ 1` holds `[2^(b-1), 2^b - 1]` (the
+//! last bucket absorbs everything above). Recording is three relaxed
+//! atomic RMWs plus two compare-loops for min/max — cheap enough for
+//! per-band latencies, coarse enough that the storage is a fixed 70
+//! words per thread with no allocation ever.
+//!
+//! Percentiles are bucket-resolution by construction: a reported p95 is
+//! the upper bound of the bucket containing the 95th-percentile sample,
+//! clamped to the exact observed maximum (so single-sample histograms
+//! report the sample itself). Exact `min`/`max`/`sum` are tracked on
+//! the side, making `mean` exact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: value 0 plus one bucket per power of two.
+pub const BUCKETS: usize = 64;
+
+/// Bucket index for a value: 0 for 0, otherwise its bit length (clamped
+/// to the last bucket).
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive `(low, high)` value bounds of bucket `b`.
+pub fn bucket_bounds(b: usize) -> (u64, u64) {
+    match b {
+        0 => (0, 0),
+        _ if b >= BUCKETS - 1 => (1 << (BUCKETS - 2), u64::MAX),
+        _ => (1 << (b - 1), (1 << b) - 1),
+    }
+}
+
+/// Lock-free per-thread histogram storage.
+pub(crate) struct AtomicHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl AtomicHistogram {
+    pub(crate) fn new() -> Self {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    pub(crate) fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Aggregated histogram data, as it appears in a
+/// [`Snapshot`](crate::Snapshot).
+#[derive(Debug, Clone)]
+pub struct HistData {
+    /// Per-bucket sample counts (see [`bucket_bounds`]).
+    pub buckets: [u64; BUCKETS],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Exact sum of all samples.
+    pub sum: u64,
+    /// Exact minimum sample (0 when empty).
+    pub min: u64,
+    /// Exact maximum sample (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistData {
+    fn default() -> Self {
+        HistData {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistData {
+    pub(crate) fn merge_from(&mut self, src: &AtomicHistogram) {
+        let src_count = src.count.load(Ordering::Relaxed);
+        if src_count == 0 {
+            return;
+        }
+        for (dst, s) in self.buckets.iter_mut().zip(&src.buckets) {
+            *dst += s.load(Ordering::Relaxed);
+        }
+        let src_min = src.min.load(Ordering::Relaxed);
+        self.min = if self.count == 0 {
+            src_min
+        } else {
+            self.min.min(src_min)
+        };
+        self.max = self.max.max(src.max.load(Ordering::Relaxed));
+        self.count += src_count;
+        self.sum += src.sum.load(Ordering::Relaxed);
+    }
+
+    /// Exact arithmetic mean, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Bucket-resolution percentile (`p` in 0..=100): the upper bound of
+    /// the bucket holding the nearest-rank sample, clamped to the exact
+    /// observed `[min, max]`. Returns 0 when the histogram is empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_bounds(b).1.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (`percentile(50)`).
+    pub fn median(&self) -> u64 {
+        self.percentile(50.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_from(samples: &[u64]) -> HistData {
+        let h = AtomicHistogram::new();
+        for &s in samples {
+            h.record(s);
+        }
+        let mut d = HistData::default();
+        d.merge_from(&h);
+        d
+    }
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_u64_range() {
+        assert_eq!(bucket_bounds(0), (0, 0));
+        let mut expected_lo = 1u64;
+        for b in 1..BUCKETS {
+            let (lo, hi) = bucket_bounds(b);
+            assert_eq!(lo, expected_lo, "bucket {b}");
+            assert!(hi >= lo);
+            // Every bucket holds exactly the values whose index maps back.
+            assert_eq!(bucket_index(lo), b);
+            assert_eq!(bucket_index(hi), b);
+            if b < BUCKETS - 1 {
+                expected_lo = hi + 1;
+            }
+        }
+        assert_eq!(bucket_bounds(BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let d = data_from(&[]);
+        assert_eq!(d.count, 0);
+        assert_eq!(d.mean(), 0.0);
+        assert_eq!(d.median(), 0);
+        assert_eq!(d.percentile(95.0), 0);
+        assert_eq!(d.min, 0);
+        assert_eq!(d.max, 0);
+    }
+
+    #[test]
+    fn single_sample_reports_itself_everywhere() {
+        let d = data_from(&[1000]);
+        assert_eq!(d.count, 1);
+        assert_eq!(d.mean(), 1000.0);
+        assert_eq!(d.min, 1000);
+        assert_eq!(d.max, 1000);
+        // Bucket upper bound (1023) clamps to the exact observed max.
+        assert_eq!(d.median(), 1000);
+        assert_eq!(d.percentile(0.0), 1000);
+        assert_eq!(d.percentile(100.0), 1000);
+    }
+
+    #[test]
+    fn percentiles_walk_buckets_in_order() {
+        // 90 samples in bucket 4 (value 10), 10 in bucket 11 (value 2000).
+        let mut samples = vec![10u64; 90];
+        samples.extend([2000u64; 10]);
+        let d = data_from(&samples);
+        assert_eq!(d.count, 100);
+        // p50 and p90 land in the low bucket: upper bound 15, min-clamped.
+        assert_eq!(d.median(), 15);
+        assert_eq!(d.percentile(90.0), 15);
+        // p95 lands in the high bucket: upper bound 2047 clamps to max.
+        assert_eq!(d.percentile(95.0), 2000);
+        assert_eq!(d.percentile(100.0), 2000);
+        assert_eq!(d.min, 10);
+        assert_eq!(d.max, 2000);
+        assert_eq!(d.mean(), (90.0 * 10.0 + 10.0 * 2000.0) / 100.0);
+    }
+
+    #[test]
+    fn zero_valued_samples_occupy_bucket_zero() {
+        let d = data_from(&[0, 0, 0, 8]);
+        assert_eq!(d.buckets[0], 3);
+        assert_eq!(d.buckets[4], 1);
+        assert_eq!(d.median(), 0);
+        assert_eq!(d.percentile(100.0), 8);
+    }
+
+    #[test]
+    fn merge_accumulates_across_threads_worth_of_data() {
+        let a = AtomicHistogram::new();
+        let b = AtomicHistogram::new();
+        a.record(5);
+        a.record(100);
+        b.record(1);
+        let mut d = HistData::default();
+        d.merge_from(&a);
+        d.merge_from(&b);
+        assert_eq!(d.count, 3);
+        assert_eq!(d.sum, 106);
+        assert_eq!(d.min, 1);
+        assert_eq!(d.max, 100);
+        // Merging an empty histogram changes nothing.
+        let empty = AtomicHistogram::new();
+        let before = d.clone();
+        d.merge_from(&empty);
+        assert_eq!(d.count, before.count);
+        assert_eq!(d.min, before.min);
+    }
+}

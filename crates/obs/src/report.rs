@@ -1,0 +1,161 @@
+//! Human-readable telemetry report, in the style of the Section V
+//! analysis tables (`op_trace::analysis`): aligned columns, one block
+//! per metric family, durations scaled to readable units.
+
+use crate::span::SpanNode;
+use crate::{Counter, Gauge, HistId, Snapshot};
+use std::fmt::Write as _;
+
+/// Scales nanoseconds into a human unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Formats byte counts with a binary unit.
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{:.2} MiB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.2} KiB", b as f64 / (1 << 10) as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+fn render_span(node: &SpanNode, depth: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    let _ = writeln!(
+        out,
+        "  {:<38} {:>8} {:>12} {:>12}",
+        format!("{indent}{}", node.name),
+        node.count,
+        fmt_ns(node.total_ns as f64),
+        fmt_ns(node.mean_ns()),
+    );
+    for child in &node.children {
+        render_span(child, depth + 1, out);
+    }
+}
+
+/// Renders the full report.
+pub fn render(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(2048);
+    let _ = writeln!(
+        out,
+        "telemetry report ({} thread sink{} contributed)",
+        snap.threads,
+        if snap.threads == 1 { "" } else { "s" }
+    );
+
+    let _ = writeln!(out, "\nspan tree (merged across threads by name):");
+    if snap.spans.is_empty() {
+        let _ = writeln!(out, "  (no spans recorded)");
+    } else {
+        let _ = writeln!(
+            out,
+            "  {:<38} {:>8} {:>12} {:>12}",
+            "span", "count", "total", "mean"
+        );
+        for node in &snap.spans {
+            render_span(node, 0, &mut out);
+        }
+    }
+
+    let _ = writeln!(out, "\ncounters (summed across threads):");
+    for c in Counter::ALL {
+        let v = snap.counter(c);
+        if c == Counter::ScratchBytesAllocated {
+            let _ = writeln!(out, "  {:<30} {:>14}", c.name(), fmt_bytes(v));
+        } else {
+            let _ = writeln!(out, "  {:<30} {:>14}", c.name(), v);
+        }
+    }
+
+    let _ = writeln!(out, "\ngauges (high-water, max across threads):");
+    for g in Gauge::ALL {
+        let v = snap.gauge(g);
+        if g == Gauge::ScratchBytesHighWater {
+            let _ = writeln!(out, "  {:<30} {:>14}", g.name(), fmt_bytes(v));
+        } else {
+            let _ = writeln!(out, "  {:<30} {:>14}", g.name(), v);
+        }
+    }
+
+    let _ = writeln!(out, "\nhistograms (log2 buckets; p* bucket-resolution):");
+    let _ = writeln!(
+        out,
+        "  {:<20} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "metric", "count", "mean", "min", "p50", "p95", "p99", "max"
+    );
+    for h in HistId::ALL {
+        let d = snap.hist(h);
+        let _ = writeln!(
+            out,
+            "  {:<20} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            h.name(),
+            d.count,
+            fmt_ns(d.mean()),
+            fmt_ns(d.min as f64),
+            fmt_ns(d.percentile(50.0) as f64),
+            fmt_ns(d.percentile(95.0) as f64),
+            fmt_ns(d.percentile(99.0) as f64),
+            fmt_ns(d.max as f64),
+        );
+    }
+
+    let total_steals: u64 = snap.steal_victims.iter().sum();
+    if total_steals > 0 {
+        let _ = writeln!(out, "\nsteals by victim worker:");
+        for (i, &n) in snap.steal_victims.iter().enumerate() {
+            if n > 0 {
+                let _ = writeln!(out, "  worker {i:<3} {n:>10}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_scaling_picks_readable_magnitudes() {
+        assert_eq!(fmt_ns(500.0), "500 ns");
+        assert_eq!(fmt_ns(1500.0), "1.500 us");
+        assert_eq!(fmt_ns(2.5e6), "2.500 ms");
+        assert_eq!(fmt_ns(3.0e9), "3.000 s");
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.00 KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.00 MiB");
+    }
+
+    #[test]
+    fn report_contains_every_metric_family() {
+        let _g = crate::tests::guard();
+        crate::set_enabled(true);
+        crate::reset();
+        crate::add(Counter::PipelineBands, 2);
+        crate::record(HistId::HarnessPassNanos, 1_000_000);
+        {
+            let _s = crate::span("report_root");
+        }
+        let snap = crate::snapshot();
+        let text = snap.render();
+        assert!(text.contains("span tree"));
+        assert!(text.contains("report_root"));
+        assert!(text.contains("pipeline.bands"));
+        assert!(text.contains("scratch.bytes_high_water"));
+        assert!(text.contains("harness.pass_ns"));
+        assert!(text.contains("1.000 ms"));
+        crate::set_enabled(false);
+    }
+}

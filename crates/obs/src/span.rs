@@ -1,0 +1,230 @@
+//! Scoped spans assembling a nested wall-time tree.
+//!
+//! A [`span`] guard opens a named region on the calling thread; guards
+//! nest lexically (strict LIFO — they are stack values), and when a
+//! root-level guard closes, its finished subtree merges into the
+//! thread's sink. Because closing happens in `Drop`, the tree unwinds
+//! correctly through panics: every frame entered before the panic is
+//! closed, in order, with its true elapsed time.
+//!
+//! Merging is by name path: two spans with the same name under the same
+//! parent accumulate (`count += 1`, `total_ns += elapsed`) rather than
+//! duplicating nodes, so a 125-pass measurement loop produces one node
+//! with `count = 125`, not 125 siblings.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// One node of the aggregated span tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Span name (static: span names label code regions, not data).
+    pub name: &'static str,
+    /// Times a span with this name path closed.
+    pub count: u64,
+    /// Total wall nanoseconds across all closes.
+    pub total_ns: u64,
+    /// Child spans, in first-seen order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Mean wall nanoseconds per close.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// Merges `node` into `dst`, accumulating by name and recursing into
+/// children.
+pub(crate) fn merge_node(dst: &mut Vec<SpanNode>, node: SpanNode) {
+    match dst.iter_mut().find(|n| n.name == node.name) {
+        Some(existing) => {
+            existing.count += node.count;
+            existing.total_ns += node.total_ns;
+            for child in node.children {
+                merge_node(&mut existing.children, child);
+            }
+        }
+        None => dst.push(node),
+    }
+}
+
+/// An open span on the thread-local stack.
+struct Frame {
+    name: &'static str,
+    start: Instant,
+    children: Vec<SpanNode>,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard returned by [`span`]; closes the span on drop.
+///
+/// Guards must be bound (`let _guard = obs::span(...)`) — a bare
+/// `obs::span(...)` expression drops immediately and records a
+/// zero-length span.
+#[must_use = "binding the guard is what scopes the span"]
+pub struct SpanGuard {
+    armed: bool,
+}
+
+/// Opens a span named `name` on the current thread. When telemetry is
+/// disabled this is one flag branch and returns an inert guard.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { armed: false };
+    }
+    STACK.with(|stack| {
+        stack.borrow_mut().push(Frame {
+            name,
+            start: Instant::now(),
+            children: Vec::new(),
+        });
+    });
+    SpanGuard { armed: true }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Armed guards are strict LIFO stack values, so the top frame
+            // is this guard's — including during panic unwinding.
+            let frame = stack.pop().expect("span stack underflow");
+            let node = SpanNode {
+                name: frame.name,
+                count: 1,
+                total_ns: frame.start.elapsed().as_nanos() as u64,
+                children: frame.children,
+            };
+            match stack.last_mut() {
+                Some(parent) => merge_node(&mut parent.children, node),
+                None => merge_node(&mut crate::lock_spans(crate::sink()), node),
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::guard;
+    use crate::{reset, set_enabled, snapshot};
+
+    fn find<'a>(nodes: &'a [SpanNode], name: &str) -> Option<&'a SpanNode> {
+        nodes.iter().find(|n| n.name == name)
+    }
+
+    #[test]
+    fn nested_spans_build_a_tree_and_siblings_accumulate() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        {
+            let _outer = span("outer");
+            for _ in 0..3 {
+                let _inner = span("inner");
+                let _leaf = span("leaf");
+            }
+            let _other = span("other");
+        }
+        let snap = snapshot();
+        let outer = find(&snap.spans, "outer").expect("outer missing");
+        assert_eq!(outer.count, 1);
+        let inner = find(&outer.children, "inner").expect("inner missing");
+        assert_eq!(inner.count, 3, "repeats merge, not duplicate");
+        let leaf = find(&inner.children, "leaf").expect("leaf missing");
+        assert_eq!(leaf.count, 3);
+        assert!(find(&outer.children, "other").is_some());
+        assert!(
+            find(&snap.spans, "inner").is_none(),
+            "inner must nest under outer, not float to the root"
+        );
+        // A parent's total covers its children's.
+        assert!(outer.total_ns >= inner.total_ns);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn span_tree_unwinds_on_panic() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        let result = std::panic::catch_unwind(|| {
+            let _outer = span("panicking_outer");
+            let _inner = span("panicking_inner");
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        // Both spans closed during unwinding, correctly nested.
+        let snap = snapshot();
+        let outer = find(&snap.spans, "panicking_outer").expect("outer not closed");
+        assert_eq!(outer.count, 1);
+        let inner = find(&outer.children, "panicking_inner").expect("inner not closed");
+        assert_eq!(inner.count, 1);
+        // The stack is balanced: a fresh span lands at the root again.
+        {
+            let _after = span("after_panic");
+        }
+        let snap = snapshot();
+        assert!(find(&snap.spans, "after_panic").is_some());
+        set_enabled(false);
+    }
+
+    #[test]
+    fn disabled_spans_cost_nothing_and_record_nothing() {
+        let _g = guard();
+        set_enabled(false);
+        reset();
+        {
+            let _s = span("ghost");
+        }
+        assert!(snapshot().spans.iter().all(|n| n.name != "ghost"));
+    }
+
+    #[test]
+    fn merge_node_accumulates_recursively() {
+        let mut dst = Vec::new();
+        let child = |n| SpanNode {
+            name: "c",
+            count: 1,
+            total_ns: n,
+            children: Vec::new(),
+        };
+        merge_node(
+            &mut dst,
+            SpanNode {
+                name: "p",
+                count: 1,
+                total_ns: 10,
+                children: vec![child(4)],
+            },
+        );
+        merge_node(
+            &mut dst,
+            SpanNode {
+                name: "p",
+                count: 1,
+                total_ns: 20,
+                children: vec![child(6)],
+            },
+        );
+        assert_eq!(dst.len(), 1);
+        assert_eq!(dst[0].count, 2);
+        assert_eq!(dst[0].total_ns, 30);
+        assert_eq!(dst[0].children.len(), 1);
+        assert_eq!(dst[0].children[0].total_ns, 10);
+        assert_eq!(dst[0].mean_ns(), 15.0);
+    }
+}

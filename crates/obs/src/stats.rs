@@ -1,0 +1,113 @@
+//! Exact distribution statistics over retained samples.
+//!
+//! The harness keeps every timed pass (the paper's 5 × 25 protocol
+//! yields 125 per point) and summarizes them here — exact order
+//! statistics from a sort, unlike the bucket-resolution percentiles of
+//! [`crate::hist`], which trade precision for fixed-size lock-free
+//! storage on hot paths. Use histograms where recording happens inside
+//! the measured region; use `SampleStats` where the sample vector is
+//! already in hand.
+
+/// Summary statistics of a sample set (seconds, nanoseconds — unitless).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (0.0 when empty).
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Median (nearest-rank).
+    pub median: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+}
+
+impl SampleStats {
+    /// An all-zero summary (the empty sample set).
+    pub const EMPTY: SampleStats = SampleStats {
+        count: 0,
+        mean: 0.0,
+        min: 0.0,
+        median: 0.0,
+        p95: 0.0,
+        max: 0.0,
+        stddev: 0.0,
+    };
+
+    /// Computes the summary of `samples` (order irrelevant).
+    pub fn from_samples(samples: &[f64]) -> SampleStats {
+        if samples.is_empty() {
+            return SampleStats::EMPTY;
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let rank = |p: f64| -> f64 {
+            // Nearest-rank: the smallest sample with at least p% below-or-at.
+            let idx = ((p / 100.0) * n as f64).ceil().max(1.0) as usize - 1;
+            sorted[idx.min(n - 1)]
+        };
+        SampleStats {
+            count: n,
+            mean,
+            min: sorted[0],
+            median: rank(50.0),
+            p95: rank(95.0),
+            max: sorted[n - 1],
+            stddev: var.sqrt(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_set_is_all_zero() {
+        assert_eq!(SampleStats::from_samples(&[]), SampleStats::EMPTY);
+    }
+
+    #[test]
+    fn single_sample_is_its_own_summary() {
+        let s = SampleStats::from_samples(&[2.5]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 2.5);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.p95, 2.5);
+        assert_eq!(s.max, 2.5);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn order_statistics_match_a_known_set() {
+        // 1..=100 (shuffled): median = 50, p95 = 95 by nearest-rank.
+        let mut samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        samples.reverse();
+        let s = SampleStats::from_samples(&samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.median, 50.0);
+        assert_eq!(s.p95, 95.0);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        // Population stddev of 1..=100 is sqrt((100^2 - 1)/12).
+        let expect = ((100.0f64 * 100.0 - 1.0) / 12.0).sqrt();
+        assert!((s.stddev - expect).abs() < 1e-9, "{} vs {expect}", s.stddev);
+    }
+
+    #[test]
+    fn stddev_is_zero_for_constant_samples() {
+        let s = SampleStats::from_samples(&[3.0; 17]);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.median, 3.0);
+    }
+}

@@ -44,6 +44,12 @@
 //! behaviour with width 1: bit-exactness is index-based, not
 //! schedule-based, so inline and pooled execution are indistinguishable
 //! to callers.
+//!
+//! When `obs` telemetry is enabled the scheduler reports jobs, tasks,
+//! steals (by victim), parks/wakeups, inline-nested runs and the deque
+//! depth high-water; disabled, each site costs one flag branch (see
+//! `obs`'s cost model and the pool-counter aggregation test in
+//! `tests/telemetry.rs`).
 
 use std::any::Any;
 use std::cell::Cell;
@@ -187,7 +193,12 @@ impl Pool {
     /// found nothing checks `generation` under the same mutex before
     /// parking, so this push can never slip into its check-to-wait window.
     fn push(&self, queue: usize, task: Task) {
-        lock(&self.queues[queue]).push_back(task);
+        let depth = {
+            let mut q = lock(&self.queues[queue]);
+            q.push_back(task);
+            q.len()
+        };
+        obs::gauge_max(obs::Gauge::PoolDequeDepthHighWater, depth as u64);
         self.generation.fetch_add(1, Ordering::SeqCst);
         let _guard = lock(&self.sleep);
         self.wake.notify_all();
@@ -218,7 +229,11 @@ impl Pool {
                 !t.pinned && me < unsafe { &*t.job }.width
             };
             if let Some(pos) = q.iter().position(eligible) {
-                return q.remove(pos);
+                let task = q.remove(pos);
+                drop(q);
+                obs::add(obs::Counter::PoolSteals, 1);
+                obs::record_steal(victim);
+                return task;
             }
         }
         None
@@ -228,6 +243,7 @@ impl Pool {
     /// halves for other workers to steal), executes the leaf, and settles
     /// the job's latch accounting.
     fn execute(&self, me: usize, task: Task) {
+        obs::add(obs::Counter::PoolTasks, 1);
         // SAFETY: `pending` includes this task, so the header is alive.
         let job = unsafe { &*task.job };
         let start = task.start;
@@ -275,7 +291,9 @@ impl Pool {
             // started (the push's notify happens under this same mutex).
             let guard = lock(&self.sleep);
             if self.generation.load(Ordering::SeqCst) == gen {
+                obs::add(obs::Counter::PoolParks, 1);
                 let _guard = self.wake.wait(guard).unwrap_or_else(|e| e.into_inner());
+                obs::add(obs::Counter::PoolWakeups, 1);
             }
         }
     }
@@ -291,6 +309,7 @@ fn run_job(len: usize, width: usize, leaf: &(dyn Fn(usize, usize) + Sync)) {
         leaf(0, len);
         return;
     }
+    obs::add(obs::Counter::PoolJobs, 1);
     // Each seed splits into ~4 leaves, giving thieves something to take
     // without shrinking tasks below a useful size.
     let grain = (len / (width * 4)).max(1);
@@ -345,6 +364,9 @@ fn drive_range(len: usize, leaf: &(dyn Fn(usize, usize) + Sync)) {
     }
     let width = current_num_threads();
     if width <= 1 || len == 1 || worker_index().is_some() {
+        if worker_index().is_some() {
+            obs::add(obs::Counter::PoolInlineNested, 1);
+        }
         leaf(0, len);
         return;
     }
@@ -370,6 +392,7 @@ where
     if n == 0 {
         return;
     }
+    obs::add(obs::Counter::PoolJobs, 1);
     let leaf = |s: usize, _e: usize| f(s);
     let dyn_leaf: &(dyn Fn(usize, usize) + Sync) = &leaf;
     let job = JobShared {
@@ -577,6 +600,9 @@ impl<T: Send> VecParIter<T> {
         }
         let width = current_num_threads();
         if width <= 1 || len == 1 || worker_index().is_some() {
+            if worker_index().is_some() {
+                obs::add(obs::Counter::PoolInlineNested, 1);
+            }
             for (i, item) in items.into_iter().enumerate() {
                 f(i, item);
             }
