@@ -11,6 +11,7 @@
 //! converting a gray-in-BGR image is the identity).
 
 use crate::dispatch::Engine;
+use crate::error::{validate_frame, KernelError, KernelResult};
 use pixelimage::Image;
 
 /// Q15 fixed-point BT.601 luma weights (R, G, B), summing to 2^15.
@@ -29,18 +30,49 @@ pub fn bgr_to_gray(
     dst: &mut Image<u8>,
     engine: Engine,
 ) {
-    assert_eq!(b.width(), dst.width(), "width mismatch");
-    assert_eq!(b.height(), dst.height(), "height mismatch");
-    assert!(
-        g.width() == b.width()
-            && r.width() == b.width()
-            && g.height() == b.height()
-            && r.height() == b.height(),
-        "channel dimensions differ"
-    );
+    if let Err(e) = try_bgr_to_gray(b, g, r, dst, engine) {
+        e.panic_or_ignore();
+    }
+}
+
+/// Fallible form of [`bgr_to_gray`]: validates geometry (including the
+/// cross-plane channel agreement) instead of asserting.
+pub fn try_bgr_to_gray(
+    b: &Image<u8>,
+    g: &Image<u8>,
+    r: &Image<u8>,
+    dst: &mut Image<u8>,
+    engine: Engine,
+) -> KernelResult {
+    if b.width() != dst.width() {
+        return Err(KernelError::WidthMismatch {
+            src: b.width(),
+            dst: dst.width(),
+        });
+    }
+    if b.height() != dst.height() {
+        return Err(KernelError::HeightMismatch {
+            src: b.height(),
+            dst: dst.height(),
+        });
+    }
+    for plane in [g, r] {
+        if plane.width() != b.width() || plane.height() != b.height() {
+            return Err(KernelError::ChannelMismatch {
+                expected: (b.width(), b.height()),
+                got: (plane.width(), plane.height()),
+            });
+        }
+    }
+    validate_frame(b.width(), b.height(), b.stride())?;
+    validate_frame(dst.width(), dst.height(), dst.stride())?;
+    if let Some(fault) = faultline::inject("kernel.entry") {
+        return Err(fault.into());
+    }
     for y in 0..b.height() {
         bgr_row(b.row(y), g.row(y), r.row(y), dst.row_mut(y), engine);
     }
+    Ok(())
 }
 
 /// Converts one row of planar BGR to gray.

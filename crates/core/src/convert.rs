@@ -10,6 +10,7 @@
 //! backends agree bit-for-bit with `cvRound` (see `neon-sim` crate docs).
 
 use crate::dispatch::Engine;
+use crate::error::{validate_pair, KernelResult};
 use pixelimage::Image;
 use simd_vector::rounding::saturate_f32_to_i16;
 
@@ -25,13 +26,29 @@ use simd_vector::rounding::saturate_f32_to_i16;
 /// saturate — a quirk the paper's (and OpenCV's) SSE2 kernel has on real
 /// hardware, reproduced faithfully here.
 pub fn convert_f32_to_i16(src: &Image<f32>, dst: &mut Image<i16>, engine: Engine) {
-    assert_eq!(src.width(), dst.width(), "width mismatch");
-    assert_eq!(src.height(), dst.height(), "height mismatch");
+    if let Err(e) = try_convert_f32_to_i16(src, dst, engine) {
+        e.panic_or_ignore();
+    }
+}
+
+/// Fallible form of [`convert_f32_to_i16`]: validates geometry instead of
+/// asserting, so a malformed frame surfaces as a
+/// [`KernelError`](crate::error::KernelError) rather than unwinding.
+pub fn try_convert_f32_to_i16(
+    src: &Image<f32>,
+    dst: &mut Image<i16>,
+    engine: Engine,
+) -> KernelResult {
+    validate_pair(src, dst)?;
+    if let Some(fault) = faultline::inject("kernel.entry") {
+        return Err(fault.into());
+    }
     for y in 0..src.height() {
         let s = src.row(y);
         let d = dst.row_mut(y);
         convert_row(s, d, engine);
     }
+    Ok(())
 }
 
 /// Converts one row with the chosen engine.

@@ -6,19 +6,37 @@
 //! `|gx| + |gy|` saturated to `u8`, as OpenCV's fast path does.
 
 use crate::dispatch::Engine;
-use crate::sobel::{sobel, SobelDirection};
+use crate::error::{validate_pair, KernelResult};
+use crate::sobel::SobelDirection;
 use crate::threshold::{threshold_row, ThresholdType};
 use pixelimage::Image;
 
 /// Runs the full edge-detection pipeline: Sobel X + Sobel Y → L1 magnitude
 /// → binary threshold at `thresh`.
 pub fn edge_detect(src: &Image<u8>, dst: &mut Image<u8>, thresh: u8, engine: Engine) {
-    assert_eq!(src.width(), dst.width(), "width mismatch");
-    assert_eq!(src.height(), dst.height(), "height mismatch");
+    if let Err(e) = try_edge_detect(src, dst, thresh, engine) {
+        e.panic_or_ignore();
+    }
+}
+
+/// Fallible form of [`edge_detect`]: validates geometry instead of
+/// asserting.
+pub fn try_edge_detect(
+    src: &Image<u8>,
+    dst: &mut Image<u8>,
+    thresh: u8,
+    engine: Engine,
+) -> KernelResult {
+    validate_pair(src, dst)?;
+    if let Some(fault) = faultline::inject("kernel.entry") {
+        return Err(fault.into());
+    }
     let mut gx = Image::<i16>::new(src.width(), src.height());
     let mut gy = Image::<i16>::new(src.width(), src.height());
-    sobel(src, &mut gx, SobelDirection::X, engine);
-    sobel(src, &mut gy, SobelDirection::Y, engine);
+    // Fallible sub-passes so an injected fault inside Sobel propagates as
+    // an error instead of re-panicking through the shim.
+    crate::sobel::try_sobel(src, &mut gx, SobelDirection::X, engine)?;
+    crate::sobel::try_sobel(src, &mut gy, SobelDirection::Y, engine)?;
     let mut mag_row = vec![0u8; src.width()];
     for y in 0..src.height() {
         magnitude_row(gx.row(y), gy.row(y), &mut mag_row, engine);
@@ -31,6 +49,7 @@ pub fn edge_detect(src: &Image<u8>, dst: &mut Image<u8>, thresh: u8, engine: Eng
             engine,
         );
     }
+    Ok(())
 }
 
 /// Computes the saturated L1 gradient magnitude of one row.

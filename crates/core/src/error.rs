@@ -1,0 +1,305 @@
+//! Error taxonomy for the fallible (`try_*`) kernel entry points.
+//!
+//! The paper-faithful kernel APIs assert on malformed inputs — correct
+//! for a benchmark, fatal for a serving system. Every kernel therefore
+//! also exposes a `try_*` twin that **validates** the same preconditions
+//! and returns a [`KernelError`] instead of unwinding; the original
+//! panicking entry points are thin shims over the `try_*` forms (see
+//! [`KernelError::panic_or_ignore`]), so there is exactly one validation
+//! path and the legacy panic messages are preserved verbatim.
+//!
+//! The taxonomy covers the four failure families the fault-model design
+//! (DESIGN.md §10) calls out:
+//!
+//! * geometry — [`KernelError::WidthMismatch`] /
+//!   [`KernelError::HeightMismatch`] / [`KernelError::ChannelMismatch`],
+//! * degenerate frames — [`KernelError::ZeroSize`],
+//! * addressing limits — [`KernelError::StrideMismatch`] /
+//!   [`KernelError::DimensionOverflow`],
+//! * resource and configuration faults —
+//!   [`KernelError::ArenaExhausted`], [`KernelError::BadKernel`],
+//!   [`KernelError::FaultInjected`] (a `faultline` forced error
+//!   surfacing through a fallible API).
+
+use std::fmt;
+
+/// Hard ceiling on `width × height` accepted by the fallible entry
+/// points: 2³² pixels (≈ 4 Gpx, 512× the paper's largest frame). Beyond
+/// this, intermediate byte counts (`stride × height × size_of::<i16>()`)
+/// approach `isize::MAX` on 32-bit hosts and allocation requests stop
+/// being distinguishable from corrupted headers — a frame this large is
+/// treated as malformed input, not a workload.
+pub const MAX_PIXELS: u128 = 1 << 32;
+
+/// Everything that can go wrong at a fallible kernel entry point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KernelError {
+    /// Source and destination widths differ.
+    WidthMismatch {
+        /// Source width in pixels.
+        src: usize,
+        /// Destination width in pixels.
+        dst: usize,
+    },
+    /// Source and destination heights differ.
+    HeightMismatch {
+        /// Source height in pixels.
+        src: usize,
+        /// Destination height in pixels.
+        dst: usize,
+    },
+    /// Multi-plane input (BGR) whose channel dimensions disagree.
+    ChannelMismatch {
+        /// Dimensions of the reference (blue) plane.
+        expected: (usize, usize),
+        /// Dimensions of the offending plane.
+        got: (usize, usize),
+    },
+    /// A zero-area frame (width or height of 0). The panicking shims
+    /// treat this as a no-op for backwards compatibility; the `try_*`
+    /// APIs surface it so servers can reject degenerate requests.
+    ZeroSize {
+        /// Frame width in pixels.
+        width: usize,
+        /// Frame height in pixels.
+        height: usize,
+    },
+    /// A row stride shorter than the row width (rows would overlap).
+    StrideMismatch {
+        /// Claimed stride in elements.
+        stride: usize,
+        /// Row width in pixels.
+        width: usize,
+    },
+    /// Frame dimensions whose product overflows [`MAX_PIXELS`] (or
+    /// `usize` arithmetic on the addressing path).
+    DimensionOverflow {
+        /// Frame width in pixels.
+        width: usize,
+        /// Frame height in pixels.
+        height: usize,
+    },
+    /// The scratch arena's byte cap cannot accommodate a checkout.
+    ArenaExhausted {
+        /// Bytes the checkout would have brought the arena to.
+        requested: usize,
+        /// The arena's configured cap.
+        cap: usize,
+    },
+    /// A convolution kernel that is not Q8-normalised (taps must sum to
+    /// 256 so the fixed-point vertical pass is exact).
+    BadKernel {
+        /// The kernel's actual tap sum.
+        sum: i32,
+    },
+    /// A `faultline` forced error injected at a fallible entry point
+    /// (chaos testing; never produced in production configuration).
+    FaultInjected {
+        /// Name of the failpoint that tripped.
+        failpoint: String,
+    },
+}
+
+impl fmt::Display for KernelError {
+    // The mismatch arms embed the exact legacy assert messages ("width
+    // mismatch", "height mismatch", "channel dimensions differ", "kernel
+    // must be Q8-normalised") so `should_panic(expected = ...)` tests
+    // and downstream log scrapers keep matching after the panicking
+    // wrappers became shims over try_*.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::WidthMismatch { src, dst } => {
+                write!(f, "width mismatch: src {src} vs dst {dst}")
+            }
+            KernelError::HeightMismatch { src, dst } => {
+                write!(f, "height mismatch: src {src} vs dst {dst}")
+            }
+            KernelError::ChannelMismatch { expected, got } => write!(
+                f,
+                "channel dimensions differ: {}x{} vs {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+            KernelError::ZeroSize { width, height } => {
+                write!(f, "zero-size frame: {width}x{height}")
+            }
+            KernelError::StrideMismatch { stride, width } => {
+                write!(f, "stride {stride} shorter than row width {width}")
+            }
+            KernelError::DimensionOverflow { width, height } => {
+                write!(f, "frame dimensions overflow: {width}x{height}")
+            }
+            KernelError::ArenaExhausted { requested, cap } => {
+                write!(
+                    f,
+                    "scratch arena exhausted: need {requested} B, cap {cap} B"
+                )
+            }
+            KernelError::BadKernel { sum } => {
+                write!(
+                    f,
+                    "kernel must be Q8-normalised: taps sum to {sum}, not 256"
+                )
+            }
+            KernelError::FaultInjected { failpoint } => {
+                write!(f, "injected fault at failpoint {failpoint}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl From<faultline::InjectedFault> for KernelError {
+    fn from(fault: faultline::InjectedFault) -> Self {
+        KernelError::FaultInjected {
+            failpoint: fault.failpoint,
+        }
+    }
+}
+
+impl KernelError {
+    /// The legacy-compatibility policy of the panicking shims: zero-size
+    /// frames are silently ignored (the historical loops simply executed
+    /// zero iterations), every other error panics with the legacy
+    /// message. Shims call this in their error arm.
+    #[track_caller]
+    pub fn panic_or_ignore(self) {
+        match self {
+            KernelError::ZeroSize { .. } => {}
+            other => panic!("{other}"),
+        }
+    }
+}
+
+/// Shorthand result for the fallible kernel APIs.
+pub type KernelResult<T = ()> = Result<T, KernelError>;
+
+/// Validates one frame's geometry: non-zero area, stride covering the
+/// width, and a pixel count under [`MAX_PIXELS`].
+pub fn validate_frame(width: usize, height: usize, stride: usize) -> KernelResult {
+    if width == 0 || height == 0 {
+        return Err(KernelError::ZeroSize { width, height });
+    }
+    if stride < width {
+        return Err(KernelError::StrideMismatch { stride, width });
+    }
+    let pixels = width as u128 * height as u128;
+    if pixels > MAX_PIXELS || (stride as u128) * (height as u128) > MAX_PIXELS {
+        return Err(KernelError::DimensionOverflow { width, height });
+    }
+    Ok(())
+}
+
+/// Validates a same-shape src/dst pair (the contract shared by every
+/// single-plane kernel): matching dimensions, then per-frame geometry.
+pub fn validate_pair<S, D>(src: &pixelimage::Image<S>, dst: &pixelimage::Image<D>) -> KernelResult
+where
+    S: simd_vector::align::Pod,
+    D: simd_vector::align::Pod,
+{
+    if src.width() != dst.width() {
+        return Err(KernelError::WidthMismatch {
+            src: src.width(),
+            dst: dst.width(),
+        });
+    }
+    if src.height() != dst.height() {
+        return Err(KernelError::HeightMismatch {
+            src: src.height(),
+            dst: dst.height(),
+        });
+    }
+    validate_frame(src.width(), src.height(), src.stride())?;
+    validate_frame(dst.width(), dst.height(), dst.stride())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixelimage::Image;
+
+    #[test]
+    fn display_preserves_legacy_assert_messages() {
+        let w = KernelError::WidthMismatch { src: 4, dst: 5 };
+        assert!(w.to_string().contains("width mismatch"));
+        let h = KernelError::HeightMismatch { src: 4, dst: 5 };
+        assert!(h.to_string().contains("height mismatch"));
+        let c = KernelError::ChannelMismatch {
+            expected: (4, 4),
+            got: (5, 4),
+        };
+        assert!(c.to_string().contains("channel dimensions differ"));
+        let k = KernelError::BadKernel { sum: 300 };
+        assert!(k.to_string().contains("kernel must be Q8-normalised"));
+    }
+
+    #[test]
+    fn frame_validation_catches_each_family() {
+        assert_eq!(
+            validate_frame(0, 5, 0),
+            Err(KernelError::ZeroSize {
+                width: 0,
+                height: 5
+            })
+        );
+        assert_eq!(
+            validate_frame(8, 0, 8),
+            Err(KernelError::ZeroSize {
+                width: 8,
+                height: 0
+            })
+        );
+        assert_eq!(
+            validate_frame(100, 10, 64),
+            Err(KernelError::StrideMismatch {
+                stride: 64,
+                width: 100
+            })
+        );
+        let huge = usize::MAX / 2;
+        assert_eq!(
+            validate_frame(huge, huge, huge),
+            Err(KernelError::DimensionOverflow {
+                width: huge,
+                height: huge
+            })
+        );
+        assert_eq!(validate_frame(640, 480, 640), Ok(()));
+        // 1xN and Nx1 frames are valid, not degenerate.
+        assert_eq!(validate_frame(1, 480, 16), Ok(()));
+        assert_eq!(validate_frame(640, 1, 640), Ok(()));
+    }
+
+    #[test]
+    fn pair_validation_orders_width_before_height() {
+        let a = Image::<u8>::new(4, 6);
+        let b = Image::<u8>::new(5, 7);
+        assert_eq!(
+            validate_pair(&a, &b),
+            Err(KernelError::WidthMismatch { src: 4, dst: 5 })
+        );
+        let c = Image::<u8>::new(4, 7);
+        assert_eq!(
+            validate_pair(&a, &c),
+            Err(KernelError::HeightMismatch { src: 6, dst: 7 })
+        );
+        let d = Image::<i16>::new(4, 6);
+        assert_eq!(validate_pair(&a, &d), Ok(()));
+    }
+
+    #[test]
+    fn zero_size_is_ignored_by_the_shim_policy_and_others_panic() {
+        KernelError::ZeroSize {
+            width: 0,
+            height: 9,
+        }
+        .panic_or_ignore(); // must not panic
+        let err = std::panic::catch_unwind(|| {
+            KernelError::WidthMismatch { src: 1, dst: 2 }.panic_or_ignore()
+        })
+        .expect_err("non-ZeroSize must panic");
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("width mismatch"));
+    }
+}

@@ -15,6 +15,7 @@
 //! the replicated borders and row tails.
 
 use crate::dispatch::Engine;
+use crate::error::{validate_pair, KernelError, KernelResult};
 use crate::kernelgen::{paper_gaussian_kernel, FixedKernel};
 use crate::scratch::MAX_TAPS;
 use pixelimage::Image;
@@ -45,14 +46,32 @@ pub fn gaussian_blur_kernel(
     kernel: &FixedKernel,
     engine: Engine,
 ) {
-    assert_eq!(src.width(), dst.width(), "width mismatch");
-    assert_eq!(src.height(), dst.height(), "height mismatch");
-    assert_eq!(kernel.sum(), 256, "kernel must be Q8-normalised");
+    if let Err(e) = try_gaussian_blur_kernel(src, dst, kernel, engine) {
+        e.panic_or_ignore();
+    }
+}
+
+/// Fallible form of [`gaussian_blur_kernel`]: validates geometry and the
+/// kernel's Q8 normalisation instead of asserting.
+pub fn try_gaussian_blur_kernel(
+    src: &Image<u8>,
+    dst: &mut Image<u8>,
+    kernel: &FixedKernel,
+    engine: Engine,
+) -> KernelResult {
+    validate_pair(src, dst)?;
+    if kernel.sum() != 256 {
+        return Err(KernelError::BadKernel { sum: kernel.sum() });
+    }
+    if let Some(fault) = faultline::inject("kernel.entry") {
+        return Err(fault.into());
+    }
     let mut mid = Image::<u16>::new(src.width(), src.height());
     for y in 0..src.height() {
         horizontal_row(src.row(y), mid.row_mut(y), kernel, engine);
     }
     vertical_pass(&mid, dst, kernel, engine);
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------

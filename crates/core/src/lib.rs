@@ -37,6 +37,7 @@ pub mod color;
 pub mod convert;
 pub mod dispatch;
 pub mod edge;
+pub mod error;
 pub mod gaussian;
 pub mod gaussian_f32;
 pub mod kernelgen;
@@ -49,6 +50,7 @@ pub mod sobel;
 pub mod threshold;
 
 pub use dispatch::{set_use_optimized, use_optimized, with_use_optimized, Engine};
+pub use error::{KernelError, KernelResult};
 pub use threshold::ThresholdType;
 
 /// Convenience re-exports for downstream users.
@@ -56,6 +58,7 @@ pub mod prelude {
     pub use crate::convert::convert_f32_to_i16;
     pub use crate::dispatch::{set_use_optimized, use_optimized, with_use_optimized, Engine};
     pub use crate::edge::edge_detect;
+    pub use crate::error::{KernelError, KernelResult};
     pub use crate::gaussian::gaussian_blur;
     pub use crate::pipeline::{
         fused_edge_detect, fused_gaussian_blur, fused_sobel, par_fused_edge_detect,

@@ -39,6 +39,7 @@
 
 use crate::dispatch::Engine;
 use crate::edge::magnitude_row;
+use crate::error::{validate_pair, KernelError, KernelResult};
 use crate::gaussian::{horizontal_row, vertical_row};
 use crate::kernelgen::{paper_gaussian_kernel, FixedKernel};
 use crate::scratch::{with_worker_workspace, BandWorkspace, Scratch, WorkspaceSpec, MAX_TAPS};
@@ -129,6 +130,23 @@ fn clamp_row(y: isize, height: usize) -> usize {
     y.clamp(0, height as isize - 1) as usize
 }
 
+/// Runs a band loop, converting a faultline-injected panic into
+/// [`KernelError::FaultInjected`] so the `try_*` entry points complete or
+/// error cleanly under chaos; genuine panics propagate unchanged. Scratch
+/// give-back is already handled by the drop guards, so nothing leaks on
+/// either path.
+fn catching_injected(f: impl FnOnce()) -> KernelResult {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(()) => Ok(()),
+        Err(payload) => match faultline::injected_failpoint(payload.as_ref()) {
+            Some(name) => Err(KernelError::FaultInjected {
+                failpoint: name.to_string(),
+            }),
+            None => std::panic::resume_unwind(payload),
+        },
+    }
+}
+
 /// Telemetry bookkeeping shared by the three band bodies: one band
 /// processed, `halo` horizontal rows recomputed (rows below `y0` that the
 /// previous band's ring already produced), and the band's wall time into
@@ -178,24 +196,39 @@ pub fn fused_gaussian_blur_with(
     engine: Engine,
     scratch: &mut Scratch,
 ) {
+    if let Err(e) = try_fused_gaussian_blur_with(src, dst, kernel, engine, scratch) {
+        e.panic_or_ignore();
+    }
+}
+
+/// Fallible form of [`fused_gaussian_blur_with`]: validates geometry and
+/// kernel normalisation instead of asserting, surfaces arena exhaustion
+/// from a capped [`Scratch`], and converts faultline-injected band panics
+/// into [`KernelError::FaultInjected`] (with the workspace returned to
+/// the arena either way).
+pub fn try_fused_gaussian_blur_with(
+    src: &Image<u8>,
+    dst: &mut Image<u8>,
+    kernel: &FixedKernel,
+    engine: Engine,
+    scratch: &mut Scratch,
+) -> KernelResult {
     let _span = obs::span("fused.gaussian");
-    assert_eq!(src.width(), dst.width(), "width mismatch");
-    assert_eq!(src.height(), dst.height(), "height mismatch");
-    assert_eq!(kernel.sum(), 256, "kernel must be Q8-normalised");
+    validate_pair(src, dst)?;
+    if kernel.sum() != 256 {
+        return Err(KernelError::BadKernel { sum: kernel.sum() });
+    }
+    if let Some(fault) = faultline::inject("fused.entry") {
+        return Err(fault.into());
+    }
     if kernel.len() > MAX_TAPS {
-        crate::gaussian::gaussian_blur_kernel(src, dst, kernel, engine);
-        return;
+        return crate::gaussian::try_gaussian_blur_kernel(src, dst, kernel, engine);
     }
-    if src.height() == 0 {
-        return;
-    }
-    let mut ws = scratch.checkout(WorkspaceSpec::gaussian(src.width(), kernel.len()));
-    {
-        let (width, height, stride) = (src.width(), src.height(), dst.stride());
-        let dst_band = &mut dst.as_mut_slice()[..(height - 1) * stride + width];
-        gaussian_band(src, dst_band, stride, 0, height, kernel, engine, &mut ws);
-    }
-    scratch.give_back(ws);
+    let (width, height, stride) = (src.width(), src.height(), dst.stride());
+    let mut co = scratch.try_checkout_guarded(WorkspaceSpec::gaussian(width, kernel.len()))?;
+    let dst_band = &mut dst.as_mut_slice()[..(height - 1) * stride + width];
+    let ws = co.ws();
+    catching_injected(move || gaussian_band(src, dst_band, stride, 0, height, kernel, engine, ws))
 }
 
 /// Runs the fused Gaussian over dst rows `[y0, y1)`.
@@ -213,6 +246,7 @@ fn gaussian_band(
     engine: Engine,
     ws: &mut BandWorkspace,
 ) {
+    faultline::fire("pipeline.band");
     let width = src.width();
     let height = src.height();
     let k = kernel.len();
@@ -269,19 +303,30 @@ pub fn fused_sobel_with(
     engine: Engine,
     scratch: &mut Scratch,
 ) {
-    assert_eq!(src.width(), dst.width(), "width mismatch");
-    assert_eq!(src.height(), dst.height(), "height mismatch");
+    if let Err(e) = try_fused_sobel_with(src, dst, dir, engine, scratch) {
+        e.panic_or_ignore();
+    }
+}
+
+/// Fallible form of [`fused_sobel_with`] (see
+/// [`try_fused_gaussian_blur_with`] for the error contract).
+pub fn try_fused_sobel_with(
+    src: &Image<u8>,
+    dst: &mut Image<i16>,
+    dir: SobelDirection,
+    engine: Engine,
+    scratch: &mut Scratch,
+) -> KernelResult {
     let _span = obs::span("fused.sobel");
-    if src.height() == 0 {
-        return;
+    validate_pair(src, dst)?;
+    if let Some(fault) = faultline::inject("fused.entry") {
+        return Err(fault.into());
     }
-    let mut ws = scratch.checkout(WorkspaceSpec::sobel(src.width()));
-    {
-        let (width, height, stride) = (src.width(), src.height(), dst.stride());
-        let dst_band = &mut dst.as_mut_slice()[..(height - 1) * stride + width];
-        sobel_band(src, dst_band, stride, 0, height, dir, engine, &mut ws);
-    }
-    scratch.give_back(ws);
+    let (width, height, stride) = (src.width(), src.height(), dst.stride());
+    let mut co = scratch.try_checkout_guarded(WorkspaceSpec::sobel(width))?;
+    let dst_band = &mut dst.as_mut_slice()[..(height - 1) * stride + width];
+    let ws = co.ws();
+    catching_injected(move || sobel_band(src, dst_band, stride, 0, height, dir, engine, ws))
 }
 
 /// Runs the fused Sobel over dst rows `[y0, y1)` (band-relative slice, as
@@ -297,6 +342,7 @@ fn sobel_band(
     engine: Engine,
     ws: &mut BandWorkspace,
 ) {
+    faultline::fire("pipeline.band");
     let width = src.width();
     let height = src.height();
     let mut next = (y0 as isize - 1).max(0) as usize;
@@ -344,19 +390,30 @@ pub fn fused_edge_detect_with(
     engine: Engine,
     scratch: &mut Scratch,
 ) {
-    assert_eq!(src.width(), dst.width(), "width mismatch");
-    assert_eq!(src.height(), dst.height(), "height mismatch");
+    if let Err(e) = try_fused_edge_detect_with(src, dst, thresh, engine, scratch) {
+        e.panic_or_ignore();
+    }
+}
+
+/// Fallible form of [`fused_edge_detect_with`] (see
+/// [`try_fused_gaussian_blur_with`] for the error contract).
+pub fn try_fused_edge_detect_with(
+    src: &Image<u8>,
+    dst: &mut Image<u8>,
+    thresh: u8,
+    engine: Engine,
+    scratch: &mut Scratch,
+) -> KernelResult {
     let _span = obs::span("fused.edge");
-    if src.height() == 0 {
-        return;
+    validate_pair(src, dst)?;
+    if let Some(fault) = faultline::inject("fused.entry") {
+        return Err(fault.into());
     }
-    let mut ws = scratch.checkout(WorkspaceSpec::edge(src.width()));
-    {
-        let (width, height, stride) = (src.width(), src.height(), dst.stride());
-        let dst_band = &mut dst.as_mut_slice()[..(height - 1) * stride + width];
-        edge_band(src, dst_band, stride, 0, height, thresh, engine, &mut ws);
-    }
-    scratch.give_back(ws);
+    let (width, height, stride) = (src.width(), src.height(), dst.stride());
+    let mut co = scratch.try_checkout_guarded(WorkspaceSpec::edge(width))?;
+    let dst_band = &mut dst.as_mut_slice()[..(height - 1) * stride + width];
+    let ws = co.ws();
+    catching_injected(move || edge_band(src, dst_band, stride, 0, height, thresh, engine, ws))
 }
 
 /// Runs the fused edge chain over dst rows `[y0, y1)`.
@@ -375,6 +432,7 @@ fn edge_band(
     engine: Engine,
     ws: &mut BandWorkspace,
 ) {
+    faultline::fire("pipeline.band");
     let width = src.width();
     let height = src.height();
     let mut next = (y0 as isize - 1).max(0) as usize;
@@ -554,23 +612,41 @@ pub fn par_fused_gaussian_blur_with(
     engine: Engine,
     plan: &BandPlan,
 ) {
-    let _span = obs::span("par_fused.gaussian");
-    assert_eq!(src.width(), dst.width(), "width mismatch");
-    assert_eq!(src.height(), dst.height(), "height mismatch");
-    assert_eq!(kernel.sum(), 256, "kernel must be Q8-normalised");
-    if kernel.len() > MAX_TAPS {
-        crate::gaussian::gaussian_blur_kernel(src, dst, kernel, engine);
-        return;
+    if let Err(e) = try_par_fused_gaussian_blur_with(src, dst, kernel, engine, plan) {
+        e.panic_or_ignore();
     }
-    if src.height() == 0 {
-        return;
+}
+
+/// Fallible form of [`par_fused_gaussian_blur_with`]: validates instead
+/// of asserting, and surfaces faultline-injected worker panics (re-raised
+/// by the pool at the submitting thread) as
+/// [`KernelError::FaultInjected`].
+pub fn try_par_fused_gaussian_blur_with(
+    src: &Image<u8>,
+    dst: &mut Image<u8>,
+    kernel: &FixedKernel,
+    engine: Engine,
+    plan: &BandPlan,
+) -> KernelResult {
+    let _span = obs::span("par_fused.gaussian");
+    validate_pair(src, dst)?;
+    if kernel.sum() != 256 {
+        return Err(KernelError::BadKernel { sum: kernel.sum() });
+    }
+    if let Some(fault) = faultline::inject("par_fused.entry") {
+        return Err(fault.into());
+    }
+    if kernel.len() > MAX_TAPS {
+        return crate::gaussian::try_gaussian_blur_kernel(src, dst, kernel, engine);
     }
     let stride = dst.stride();
     let items = band_items(dst, plan);
     let spec = WorkspaceSpec::gaussian(src.width(), kernel.len());
-    run_bands(items, spec, |item, dst_band, ws| {
-        gaussian_band(src, dst_band, stride, item.y0, item.y1, kernel, engine, ws);
-    });
+    catching_injected(|| {
+        run_bands(items, spec, |item, dst_band, ws| {
+            gaussian_band(src, dst_band, stride, item.y0, item.y1, kernel, engine, ws);
+        });
+    })
 }
 
 /// [`par_fused_gaussian_blur_with`] scheduled by per-call thread spawning
@@ -615,18 +691,33 @@ pub fn par_fused_sobel_with(
     engine: Engine,
     plan: &BandPlan,
 ) {
+    if let Err(e) = try_par_fused_sobel_with(src, dst, dir, engine, plan) {
+        e.panic_or_ignore();
+    }
+}
+
+/// Fallible form of [`par_fused_sobel_with`] (see
+/// [`try_par_fused_gaussian_blur_with`] for the error contract).
+pub fn try_par_fused_sobel_with(
+    src: &Image<u8>,
+    dst: &mut Image<i16>,
+    dir: SobelDirection,
+    engine: Engine,
+    plan: &BandPlan,
+) -> KernelResult {
     let _span = obs::span("par_fused.sobel");
-    assert_eq!(src.width(), dst.width(), "width mismatch");
-    assert_eq!(src.height(), dst.height(), "height mismatch");
-    if src.height() == 0 {
-        return;
+    validate_pair(src, dst)?;
+    if let Some(fault) = faultline::inject("par_fused.entry") {
+        return Err(fault.into());
     }
     let stride = dst.stride();
     let items = band_items(dst, plan);
     let spec = WorkspaceSpec::sobel(src.width());
-    run_bands(items, spec, |item, dst_band, ws| {
-        sobel_band(src, dst_band, stride, item.y0, item.y1, dir, engine, ws);
-    });
+    catching_injected(|| {
+        run_bands(items, spec, |item, dst_band, ws| {
+            sobel_band(src, dst_band, stride, item.y0, item.y1, dir, engine, ws);
+        });
+    })
 }
 
 /// [`par_fused_sobel_with`] scheduled by per-call thread spawning (the
@@ -666,18 +757,33 @@ pub fn par_fused_edge_detect_with(
     engine: Engine,
     plan: &BandPlan,
 ) {
+    if let Err(e) = try_par_fused_edge_detect_with(src, dst, thresh, engine, plan) {
+        e.panic_or_ignore();
+    }
+}
+
+/// Fallible form of [`par_fused_edge_detect_with`] (see
+/// [`try_par_fused_gaussian_blur_with`] for the error contract).
+pub fn try_par_fused_edge_detect_with(
+    src: &Image<u8>,
+    dst: &mut Image<u8>,
+    thresh: u8,
+    engine: Engine,
+    plan: &BandPlan,
+) -> KernelResult {
     let _span = obs::span("par_fused.edge");
-    assert_eq!(src.width(), dst.width(), "width mismatch");
-    assert_eq!(src.height(), dst.height(), "height mismatch");
-    if src.height() == 0 {
-        return;
+    validate_pair(src, dst)?;
+    if let Some(fault) = faultline::inject("par_fused.entry") {
+        return Err(fault.into());
     }
     let stride = dst.stride();
     let items = band_items(dst, plan);
     let spec = WorkspaceSpec::edge(src.width());
-    run_bands(items, spec, |item, dst_band, ws| {
-        edge_band(src, dst_band, stride, item.y0, item.y1, thresh, engine, ws);
-    });
+    catching_injected(|| {
+        run_bands(items, spec, |item, dst_band, ws| {
+            edge_band(src, dst_band, stride, item.y0, item.y1, thresh, engine, ws);
+        });
+    })
 }
 
 /// [`par_fused_edge_detect_with`] scheduled by per-call thread spawning

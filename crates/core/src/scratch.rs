@@ -79,6 +79,14 @@ pub struct WorkspaceSpec {
 }
 
 impl WorkspaceSpec {
+    /// Upper bound on the bytes a cold arena allocates to satisfy this
+    /// spec (every ring row and temp at exactly `width`). Used by the
+    /// arena cap check in [`Scratch::try_checkout`].
+    pub fn bytes(&self) -> usize {
+        self.width * 2 * (self.u16_rows + self.a_rows + self.b_rows)
+            + if self.row_temps { self.width * 5 } else { 0 }
+    }
+
     /// Spec for a fused Gaussian with a `k`-tap kernel.
     pub fn gaussian(width: usize, k: usize) -> Self {
         WorkspaceSpec {
@@ -134,12 +142,30 @@ pub struct Scratch {
     pool: Vec<BandWorkspace>,
     fresh_allocs: usize,
     live_bytes: usize,
+    outstanding: usize,
+    outstanding_bytes: usize,
+    cap_bytes: Option<usize>,
 }
 
 impl Scratch {
     /// Creates an empty arena. Nothing is allocated until a checkout.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an arena that refuses (via [`Scratch::try_checkout`]) to
+    /// grow beyond `cap` bytes.
+    pub fn with_cap_bytes(cap: usize) -> Self {
+        Scratch {
+            cap_bytes: Some(cap),
+            ..Self::default()
+        }
+    }
+
+    /// Sets or clears the arena's byte cap. Only the fallible checkout
+    /// path enforces it; [`Scratch::checkout`] stays infallible.
+    pub fn set_cap_bytes(&mut self, cap: Option<usize>) {
+        self.cap_bytes = cap;
     }
 
     /// Number of buffer allocations (or growths) performed so far.
@@ -151,6 +177,19 @@ impl Scratch {
     /// workspaces included — give-backs don't change the total).
     pub fn live_bytes(&self) -> usize {
         self.live_bytes
+    }
+
+    /// Number of workspaces currently checked out and not yet returned.
+    /// Zero between operations — a nonzero value at rest means a panic
+    /// path leaked a workspace (the invariant chaos runs assert).
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Bytes held by checked-out-but-unreturned workspaces. The
+    /// "leaked scratch bytes" figure: zero between operations.
+    pub fn outstanding_bytes(&self) -> usize {
+        self.outstanding_bytes
     }
 
     /// Number of workspaces currently parked in the pool.
@@ -193,12 +232,75 @@ impl Scratch {
             );
         }
         obs::gauge_max(obs::Gauge::ScratchBytesHighWater, self.live_bytes as u64);
+        self.outstanding += 1;
+        self.outstanding_bytes += Self::workspace_bytes(&ws);
         ws
+    }
+
+    /// Fallible checkout: refuses with
+    /// [`KernelError::ArenaExhausted`](crate::error::KernelError) when the
+    /// arena has a byte cap and satisfying `spec` could grow it past the
+    /// cap. The growth estimate is an upper bound ([`WorkspaceSpec::bytes`]
+    /// when no pooled workspace already satisfies the spec), so a rejected
+    /// checkout never allocates anything.
+    pub fn try_checkout(
+        &mut self,
+        spec: WorkspaceSpec,
+    ) -> Result<BandWorkspace, crate::error::KernelError> {
+        if let Some(cap) = self.cap_bytes {
+            let warm = self.pool.iter().any(|ws| Self::satisfies(ws, &spec));
+            let projected = self.live_bytes + if warm { 0 } else { spec.bytes() };
+            if projected > cap {
+                return Err(crate::error::KernelError::ArenaExhausted {
+                    requested: projected,
+                    cap,
+                });
+            }
+        }
+        Ok(self.checkout(spec))
+    }
+
+    /// Checkout whose give-back is a drop guard: the workspace returns to
+    /// the arena when the [`CheckedOut`] handle drops, **including during
+    /// unwinding**, so a panic inside a band loop cannot leak the buffers.
+    pub fn checkout_guarded(&mut self, spec: WorkspaceSpec) -> CheckedOut<'_> {
+        let ws = self.checkout(spec);
+        CheckedOut {
+            arena: self,
+            ws: Some(ws),
+        }
+    }
+
+    /// [`Scratch::checkout_guarded`] through the fallible (capped) path.
+    pub fn try_checkout_guarded(
+        &mut self,
+        spec: WorkspaceSpec,
+    ) -> Result<CheckedOut<'_>, crate::error::KernelError> {
+        let ws = self.try_checkout(spec)?;
+        Ok(CheckedOut {
+            arena: self,
+            ws: Some(ws),
+        })
     }
 
     /// Returns a workspace to the pool for later reuse.
     pub fn give_back(&mut self, ws: BandWorkspace) {
+        self.outstanding = self.outstanding.saturating_sub(1);
+        self.outstanding_bytes = self
+            .outstanding_bytes
+            .saturating_sub(Self::workspace_bytes(&ws));
         self.pool.push(ws);
+    }
+
+    /// Bytes currently held by `ws`'s buffers.
+    fn workspace_bytes(ws: &BandWorkspace) -> usize {
+        let ring_i16 = |ring: &[AlignedBuf<i16>]| ring.iter().map(|b| b.len() * 2).sum::<usize>();
+        ws.ring_u16.iter().map(|b| b.len() * 2).sum::<usize>()
+            + ring_i16(&ws.ring_a)
+            + ring_i16(&ws.ring_b)
+            + ws.row_gx.len() * 2
+            + ws.row_gy.len() * 2
+            + ws.row_u8.len()
     }
 
     /// True when `ws` can serve `spec` without any buffer growth.
@@ -249,6 +351,31 @@ impl Scratch {
     }
 }
 
+/// A checked-out workspace that returns itself to its arena on drop —
+/// the unwind-safe counterpart of the `checkout`/`give_back` pair. The
+/// sequential fused entry points hold their workspace through one of
+/// these so an injected (or real) panic mid-band still restores the
+/// arena's ledgers.
+pub struct CheckedOut<'a> {
+    arena: &'a mut Scratch,
+    ws: Option<BandWorkspace>,
+}
+
+impl CheckedOut<'_> {
+    /// The borrowed workspace (present until drop).
+    pub fn ws(&mut self) -> &mut BandWorkspace {
+        self.ws.as_mut().expect("workspace present until drop")
+    }
+}
+
+impl Drop for CheckedOut<'_> {
+    fn drop(&mut self) {
+        if let Some(ws) = self.ws.take() {
+            self.arena.give_back(ws);
+        }
+    }
+}
+
 thread_local! {
     /// Per-thread arena used by the parallel band drivers. Pool worker
     /// threads are persistent, so each worker's arena warms once and then
@@ -266,13 +393,30 @@ thread_local! {
 /// band tasks are scheduled dynamically (a worker may run any band, for
 /// any kernel shape), so workspaces cannot be pre-bound to bands; instead
 /// each worker owns an arena for the life of the thread. The workspace is
-/// not returned to the arena if `f` panics — the next checkout then
-/// simply allocates a fresh one.
+/// returned to the arena **even if `f` panics** — a drop guard performs
+/// the give-back during unwinding, so injected band faults neither leak
+/// buffers nor force the next checkout to reallocate.
 pub fn with_worker_workspace<R>(spec: WorkspaceSpec, f: impl FnOnce(&mut BandWorkspace) -> R) -> R {
-    let mut ws = WORKER_SCRATCH.with(|cell| cell.borrow_mut().checkout(spec));
-    let out = f(&mut ws);
-    WORKER_SCRATCH.with(|cell| cell.borrow_mut().give_back(ws));
-    out
+    struct ReturnOnDrop {
+        ws: Option<BandWorkspace>,
+    }
+    impl Drop for ReturnOnDrop {
+        fn drop(&mut self) {
+            if let Some(ws) = self.ws.take() {
+                // try_with/try_borrow_mut: during thread teardown or a
+                // panic re-entering the arena the give-back is impossible;
+                // the workspace is then simply freed (never double-held).
+                let _ = WORKER_SCRATCH.try_with(|cell| {
+                    if let Ok(mut arena) = cell.try_borrow_mut() {
+                        arena.give_back(ws);
+                    }
+                });
+            }
+        }
+    }
+    let ws = WORKER_SCRATCH.with(|cell| cell.borrow_mut().checkout(spec));
+    let mut guard = ReturnOnDrop { ws: Some(ws) };
+    f(guard.ws.as_mut().expect("workspace present until drop"))
 }
 
 /// Number of buffer allocations the calling thread's worker arena has
@@ -285,6 +429,18 @@ pub fn worker_arena_fresh_allocs() -> usize {
 /// [`Scratch::live_bytes`] ledger).
 pub fn worker_arena_live_bytes() -> usize {
     WORKER_SCRATCH.with(|cell| cell.borrow().live_bytes())
+}
+
+/// Workspaces checked out of the calling thread's worker arena and not
+/// yet returned ([`Scratch::outstanding`]). Zero between operations.
+pub fn worker_arena_outstanding() -> usize {
+    WORKER_SCRATCH.with(|cell| cell.borrow().outstanding())
+}
+
+/// Bytes leaked from the calling thread's worker arena if nonzero at
+/// rest ([`Scratch::outstanding_bytes`]).
+pub fn worker_arena_outstanding_bytes() -> usize {
+    WORKER_SCRATCH.with(|cell| cell.borrow().outstanding_bytes())
 }
 
 /// Pre-warms the worker arenas of **every live pool worker** (and the
@@ -375,6 +531,80 @@ mod tests {
         // Growth counts only the delta per buffer.
         let ws = scratch.checkout(WorkspaceSpec::sobel(150));
         assert_eq!(scratch.live_bytes(), 3 * 150 * 2);
+        scratch.give_back(ws);
+    }
+
+    #[test]
+    fn outstanding_ledger_tracks_checkout_and_return() {
+        let mut scratch = Scratch::new();
+        assert_eq!(scratch.outstanding(), 0);
+        assert_eq!(scratch.outstanding_bytes(), 0);
+        let ws = scratch.checkout(WorkspaceSpec::sobel(100));
+        assert_eq!(scratch.outstanding(), 1);
+        assert_eq!(scratch.outstanding_bytes(), 3 * 100 * 2);
+        scratch.give_back(ws);
+        assert_eq!(scratch.outstanding(), 0);
+        assert_eq!(scratch.outstanding_bytes(), 0);
+    }
+
+    #[test]
+    fn guarded_checkout_returns_workspace_on_unwind() {
+        let mut scratch = Scratch::new();
+        let spec = WorkspaceSpec::edge(256);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut co = scratch.checkout_guarded(spec);
+            assert!(co.ws().ring_a.len() >= 3);
+            panic!("band body died");
+        }));
+        assert!(err.is_err());
+        assert_eq!(scratch.outstanding(), 0, "guard must give back on unwind");
+        assert_eq!(scratch.outstanding_bytes(), 0);
+        // And the pooled workspace is reusable without fresh allocations.
+        let warm = scratch.fresh_allocs();
+        let co = scratch.checkout_guarded(spec);
+        drop(co);
+        assert_eq!(scratch.fresh_allocs(), warm);
+    }
+
+    #[test]
+    fn worker_workspace_survives_panicking_closure() {
+        let spec = WorkspaceSpec::sobel(128);
+        // Warm first so the ledger comparison is exact.
+        with_worker_workspace(spec, |_| ());
+        let warm = worker_arena_fresh_allocs();
+        let err = std::panic::catch_unwind(|| {
+            with_worker_workspace(spec, |_| panic!("injected band fault"));
+        });
+        assert!(err.is_err());
+        assert_eq!(worker_arena_outstanding(), 0, "panic leaked a workspace");
+        assert_eq!(worker_arena_outstanding_bytes(), 0);
+        with_worker_workspace(spec, |_| ());
+        assert_eq!(
+            worker_arena_fresh_allocs(),
+            warm,
+            "post-panic checkout had to reallocate"
+        );
+    }
+
+    #[test]
+    fn capped_arena_rejects_oversized_checkouts_without_allocating() {
+        let spec = WorkspaceSpec::sobel(1000); // needs 6000 B
+        let mut scratch = Scratch::with_cap_bytes(spec.bytes() - 1);
+        match scratch.try_checkout(spec) {
+            Err(crate::error::KernelError::ArenaExhausted { requested, cap }) => {
+                assert_eq!(requested, spec.bytes());
+                assert_eq!(cap, spec.bytes() - 1);
+            }
+            other => panic!("expected ArenaExhausted, got {other:?}"),
+        }
+        assert_eq!(scratch.live_bytes(), 0, "rejected checkout allocated");
+        assert_eq!(scratch.fresh_allocs(), 0);
+        // Raising the cap makes the same checkout succeed, and a warm
+        // re-checkout passes the cap check via the pooled workspace.
+        scratch.set_cap_bytes(Some(spec.bytes()));
+        let ws = scratch.try_checkout(spec).expect("fits exactly");
+        scratch.give_back(ws);
+        let ws = scratch.try_checkout(spec).expect("warm re-checkout");
         scratch.give_back(ws);
     }
 

@@ -4,6 +4,7 @@
 //! 16-bit signed gradient image (OpenCV `CV_16S` output).
 
 use crate::dispatch::Engine;
+use crate::error::{validate_pair, KernelResult};
 use pixelimage::Image;
 
 /// Gradient direction.
@@ -17,8 +18,22 @@ pub enum SobelDirection {
 
 /// Computes the Sobel gradient of `src` into `dst` using `engine`.
 pub fn sobel(src: &Image<u8>, dst: &mut Image<i16>, dir: SobelDirection, engine: Engine) {
-    assert_eq!(src.width(), dst.width(), "width mismatch");
-    assert_eq!(src.height(), dst.height(), "height mismatch");
+    if let Err(e) = try_sobel(src, dst, dir, engine) {
+        e.panic_or_ignore();
+    }
+}
+
+/// Fallible form of [`sobel`]: validates geometry instead of asserting.
+pub fn try_sobel(
+    src: &Image<u8>,
+    dst: &mut Image<i16>,
+    dir: SobelDirection,
+    engine: Engine,
+) -> KernelResult {
+    validate_pair(src, dst)?;
+    if let Some(fault) = faultline::inject("kernel.entry") {
+        return Err(fault.into());
+    }
     let mut mid = Image::<i16>::new(src.width(), src.height());
     // Horizontal pass.
     for y in 0..src.height() {
@@ -39,6 +54,7 @@ pub fn sobel(src: &Image<u8>, dst: &mut Image<i16>, dir: SobelDirection, engine:
             SobelDirection::Y => v_diff_row(above, below, dst.row_mut(y), engine),
         }
     }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------

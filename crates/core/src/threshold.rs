@@ -2,6 +2,7 @@
 //! Algorithm 1), plus the other four OpenCV threshold types.
 
 use crate::dispatch::Engine;
+use crate::error::{validate_pair, KernelResult};
 use pixelimage::Image;
 
 /// The five OpenCV threshold types. The paper's benchmark uses
@@ -83,11 +84,29 @@ pub fn threshold_u8(
     ty: ThresholdType,
     engine: Engine,
 ) {
-    assert_eq!(src.width(), dst.width(), "width mismatch");
-    assert_eq!(src.height(), dst.height(), "height mismatch");
+    if let Err(e) = try_threshold_u8(src, dst, thresh, maxval, ty, engine) {
+        e.panic_or_ignore();
+    }
+}
+
+/// Fallible form of [`threshold_u8`]: validates geometry instead of
+/// asserting.
+pub fn try_threshold_u8(
+    src: &Image<u8>,
+    dst: &mut Image<u8>,
+    thresh: u8,
+    maxval: u8,
+    ty: ThresholdType,
+    engine: Engine,
+) -> KernelResult {
+    validate_pair(src, dst)?;
+    if let Some(fault) = faultline::inject("kernel.entry") {
+        return Err(fault.into());
+    }
     for y in 0..src.height() {
         threshold_row(src.row(y), dst.row_mut(y), thresh, maxval, ty, engine);
     }
+    Ok(())
 }
 
 /// Thresholds one row with the chosen engine.

@@ -1,0 +1,350 @@
+//! Deterministic fault injection for the reproduction: named
+//! **failpoints** compiled into the production code paths (the pool's
+//! worker loop and task bodies, the fused pipeline's band bodies, the
+//! fallible kernel entry points) that chaos tests and `repro chaos` can
+//! *arm* with an action — panic, delay, or forced error — fired at a
+//! configured rate from a **seeded** RNG, so every chaos run replays
+//! bit-identically for a given seed.
+//!
+//! Modeled on the `obs` telemetry crate's cost discipline:
+//!
+//! # Cost model
+//!
+//! Failpoints are **disarmed by default**. Every site entry point
+//! ([`fire`], [`inject`]) starts with one relaxed atomic load of the
+//! global armed-count and one predictable branch; when nothing is armed
+//! (the production configuration) nothing else runs — no lock, no name
+//! comparison, no RNG step. Arming any failpoint flips the global flag;
+//! armed evaluation takes the registry mutex, which is fine because
+//! chaos runs are not benchmarks.
+//!
+//! # Determinism
+//!
+//! Each armed failpoint owns a private SplitMix64 stream seeded by
+//! [`arm`]'s `seed`. Trip decisions are drawn from that stream in
+//! evaluation order under the registry lock, so the *decision sequence*
+//! per failpoint is a pure function of `(seed, rate)`. (Which thread
+//! observes which decision still depends on the schedule — the
+//! invariants chaos asserts are schedule-independent.)
+//!
+//! # Hit ledger
+//!
+//! Every evaluation and every trip is counted per failpoint;
+//! [`snapshot`] returns the ledger for reports and assertions, and
+//! [`disarm_all`] clears everything back to the zero-cost state.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// What an armed failpoint does when it trips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Panic with a `String` payload `"faultline injected panic at <name>"`
+    /// (recognisable via [`is_injected_panic`]). Simulates a worker or
+    /// kernel dying mid-flight.
+    Panic,
+    /// Sleep for the given number of milliseconds. Simulates a stuck or
+    /// slow job (the watchdog's prey).
+    Delay(u64),
+    /// Return an [`InjectedFault`] from [`inject`] sites, which map it to
+    /// their own error type (`KernelError::FaultInjected` in `core`).
+    /// At [`fire`] sites — which cannot return errors — it is a no-op
+    /// (still counted as a trip in the ledger).
+    Error,
+}
+
+/// A forced error produced by an [`Action::Error`] trip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Name of the failpoint that tripped.
+    pub failpoint: String,
+}
+
+/// Ledger entry for one armed failpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailpointHits {
+    /// The failpoint's name.
+    pub name: String,
+    /// The configured action.
+    pub action: Action,
+    /// How many times a site evaluated this failpoint while armed.
+    pub evals: u64,
+    /// How many evaluations tripped the action.
+    pub trips: u64,
+}
+
+struct Armed {
+    name: String,
+    action: Action,
+    rate: f64,
+    rng: StdRng,
+    evals: u64,
+    trips: u64,
+}
+
+/// Number of currently armed failpoints; the global fast-path flag.
+/// `fire`/`inject` load this relaxed — zero means fully disarmed and the
+/// site costs one load + one branch.
+static ARMED_COUNT: AtomicUsize = AtomicUsize::new(0);
+
+fn registry() -> &'static Mutex<Vec<Armed>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Armed>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn lock_registry() -> MutexGuard<'static, Vec<Armed>> {
+    registry().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// True when at least one failpoint is armed (the slow path is live).
+#[inline]
+pub fn any_armed() -> bool {
+    ARMED_COUNT.load(Ordering::Relaxed) != 0
+}
+
+/// Arms failpoint `name` with `action`, tripping each evaluation with
+/// probability `rate` drawn from a SplitMix64 stream seeded by `seed`.
+/// Re-arming an already-armed name replaces its configuration and resets
+/// its ledger counts and RNG stream.
+pub fn arm(name: &str, action: Action, rate: f64, seed: u64) {
+    assert!((0.0..=1.0).contains(&rate), "rate {rate} out of [0,1]");
+    let mut reg = lock_registry();
+    let armed = Armed {
+        name: name.to_string(),
+        action,
+        rate,
+        rng: StdRng::seed_from_u64(seed),
+        evals: 0,
+        trips: 0,
+    };
+    match reg.iter_mut().find(|a| a.name == name) {
+        Some(slot) => *slot = armed,
+        None => reg.push(armed),
+    }
+    ARMED_COUNT.store(reg.len(), Ordering::SeqCst);
+}
+
+/// Disarms failpoint `name` (no-op when not armed). Its ledger entry is
+/// dropped; snapshot before disarming if the counts matter.
+pub fn disarm(name: &str) {
+    let mut reg = lock_registry();
+    reg.retain(|a| a.name != name);
+    ARMED_COUNT.store(reg.len(), Ordering::SeqCst);
+}
+
+/// Disarms every failpoint, restoring the zero-cost disabled state.
+pub fn disarm_all() {
+    let mut reg = lock_registry();
+    reg.clear();
+    ARMED_COUNT.store(0, Ordering::SeqCst);
+}
+
+/// Snapshot of the hit ledger: one entry per armed failpoint.
+pub fn snapshot() -> Vec<FailpointHits> {
+    lock_registry()
+        .iter()
+        .map(|a| FailpointHits {
+            name: a.name.clone(),
+            action: a.action,
+            evals: a.evals,
+            trips: a.trips,
+        })
+        .collect()
+}
+
+/// Evaluates failpoint `name`: decides (deterministically per seed)
+/// whether it trips, updates the ledger, and returns the action to
+/// perform. `None` when the failpoint is not armed or did not trip.
+fn evaluate(name: &str) -> Option<Action> {
+    let mut reg = lock_registry();
+    let armed = reg.iter_mut().find(|a| a.name == name)?;
+    armed.evals += 1;
+    if !armed.rng.gen_bool(armed.rate) {
+        return None;
+    }
+    armed.trips += 1;
+    Some(armed.action)
+}
+
+/// The panic-message prefix used by [`Action::Panic`] trips.
+pub const PANIC_PREFIX: &str = "faultline injected panic at ";
+
+/// True when a caught panic payload is a faultline-injected panic (used
+/// by chaos harnesses to separate injected faults from real bugs).
+pub fn is_injected_panic(payload: &(dyn std::any::Any + Send)) -> bool {
+    injected_failpoint(payload).is_some()
+}
+
+/// The failpoint name carried by a faultline-injected panic payload, or
+/// `None` for ordinary panics.
+pub fn injected_failpoint(payload: &(dyn std::any::Any + Send)) -> Option<&str> {
+    payload.downcast_ref::<String>()?.strip_prefix(PANIC_PREFIX)
+}
+
+/// A failpoint site that cannot surface an error: may panic or delay.
+/// An armed [`Action::Error`] counts as a trip but does nothing here.
+///
+/// Cost when nothing is armed: one relaxed load + branch.
+#[inline]
+pub fn fire(name: &str) {
+    if !any_armed() {
+        return;
+    }
+    fire_slow(name);
+}
+
+#[cold]
+fn fire_slow(name: &str) {
+    match evaluate(name) {
+        Some(Action::Panic) => panic!("{PANIC_PREFIX}{name}"),
+        Some(Action::Delay(ms)) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+        Some(Action::Error) | None => {}
+    }
+}
+
+/// A failpoint site on a fallible path: may panic, delay, or return a
+/// forced error for the caller to map into its own error type.
+///
+/// Cost when nothing is armed: one relaxed load + branch.
+#[inline]
+pub fn inject(name: &str) -> Option<InjectedFault> {
+    if !any_armed() {
+        return None;
+    }
+    inject_slow(name)
+}
+
+#[cold]
+fn inject_slow(name: &str) -> Option<InjectedFault> {
+    match evaluate(name) {
+        Some(Action::Panic) => panic!("{PANIC_PREFIX}{name}"),
+        Some(Action::Delay(ms)) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            None
+        }
+        Some(Action::Error) => Some(InjectedFault {
+            failpoint: name.to_string(),
+        }),
+        None => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Failpoint state is process-global; tests that arm serialize here.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn guard() -> MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disarmed_sites_do_nothing() {
+        let _g = guard();
+        disarm_all();
+        assert!(!any_armed());
+        fire("nonexistent.site");
+        assert_eq!(inject("nonexistent.site"), None);
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn armed_error_trips_only_at_its_site() {
+        let _g = guard();
+        disarm_all();
+        arm("site.a", Action::Error, 1.0, 7);
+        assert!(any_armed());
+        // Other names are unaffected.
+        assert_eq!(inject("site.b"), None);
+        let fault = inject("site.a").expect("rate 1.0 must trip");
+        assert_eq!(fault.failpoint, "site.a");
+        // fire() cannot return the error: no-op, but counted.
+        fire("site.a");
+        let snap = snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].evals, 2);
+        assert_eq!(snap[0].trips, 2);
+        disarm_all();
+        assert!(!any_armed());
+    }
+
+    #[test]
+    fn trip_sequence_is_deterministic_per_seed() {
+        let _g = guard();
+        let run = |seed: u64| -> Vec<bool> {
+            disarm_all();
+            arm("det.site", Action::Error, 0.5, seed);
+            let hits = (0..64).map(|_| inject("det.site").is_some()).collect();
+            disarm_all();
+            hits
+        };
+        let a = run(42);
+        let b = run(42);
+        let c = run(43);
+        assert_eq!(a, b, "same seed must replay the same decisions");
+        assert_ne!(a, c, "different seeds must differ somewhere in 64 draws");
+        assert!(a.iter().any(|&h| h) && a.iter().any(|&h| !h), "rate 0.5");
+    }
+
+    #[test]
+    fn injected_panics_are_recognisable() {
+        let _g = guard();
+        disarm_all();
+        arm("boom.site", Action::Panic, 1.0, 1);
+        let err = catch_unwind(AssertUnwindSafe(|| fire("boom.site")))
+            .expect_err("armed panic must unwind");
+        assert!(is_injected_panic(err.as_ref()));
+        // A plain panic is not misclassified.
+        let plain = catch_unwind(|| panic!("ordinary failure")).expect_err("panics");
+        assert!(!is_injected_panic(plain.as_ref()));
+        disarm_all();
+    }
+
+    #[test]
+    fn delay_sleeps_and_counts() {
+        let _g = guard();
+        disarm_all();
+        arm("slow.site", Action::Delay(5), 1.0, 3);
+        let t0 = std::time::Instant::now();
+        fire("slow.site");
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(5));
+        assert_eq!(snapshot()[0].trips, 1);
+        disarm_all();
+    }
+
+    #[test]
+    fn rearming_resets_ledger_and_stream() {
+        let _g = guard();
+        disarm_all();
+        arm("re.site", Action::Error, 1.0, 9);
+        assert!(inject("re.site").is_some());
+        arm("re.site", Action::Error, 0.0, 9);
+        assert_eq!(inject("re.site"), None);
+        let snap = snapshot();
+        assert_eq!(snap.len(), 1, "re-arm replaces, not duplicates");
+        assert_eq!(snap[0].evals, 1, "re-arm resets the ledger");
+        assert_eq!(snap[0].trips, 0);
+        disarm_all();
+    }
+
+    #[test]
+    fn zero_rate_never_trips() {
+        let _g = guard();
+        disarm_all();
+        arm("never.site", Action::Panic, 0.0, 11);
+        for _ in 0..256 {
+            fire("never.site");
+        }
+        let snap = snapshot();
+        assert_eq!(snap[0].evals, 256);
+        assert_eq!(snap[0].trips, 0);
+        disarm_all();
+    }
+}

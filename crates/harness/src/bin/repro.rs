@@ -11,6 +11,7 @@
 //! repro fused [--quick] [--full] [--csv FILE] # fused vs two-pass pipeline
 //! repro parallel [--quick] [--full] [--csv FILE] # pool vs per-call-spawn dispatch
 //! repro stats [--full] [--json FILE] # instrumented exercise -> telemetry report
+//! repro chaos [--seed N] [--quick]   # fault-injection matrix over the fused pipeline
 //! repro csv [dir]              # write every table/figure as CSV files
 //! repro all                    # everything except host mode
 //! ```
@@ -44,6 +45,7 @@ fn main() {
         "fused" => fused_mode(&args[1..]),
         "parallel" => parallel_mode(&args[1..]),
         "stats" => stats_mode(&args[1..]),
+        "chaos" => chaos_mode(&args[1..]),
         "csv" => {
             let dir = args.get(1).cloned().unwrap_or_else(|| "results".into());
             if let Err(e) = write_csvs(&dir) {
@@ -69,7 +71,7 @@ fn main() {
         other => {
             eprintln!("unknown command: {other}");
             eprintln!(
-                "usage: repro [table1|table2|table3|figure2..figure6|asm-analysis|energy|host|fused|parallel|stats|all]"
+                "usage: repro [table1|table2|table3|figure2..figure6|asm-analysis|energy|host|fused|parallel|stats|chaos|all]"
             );
             std::process::exit(2);
         }
@@ -186,6 +188,317 @@ fn stats_mode(args: &[String]) {
         );
     }
     telemetry_report(&json_path);
+}
+
+/// Chaos mode: drives the fused pipeline (sequential and banded-parallel)
+/// through a deterministic injected-fault matrix — forced errors at the
+/// entry points, band panics, pool-task panics, worker deaths and task
+/// stalls — and verifies the fault-tolerance contract at every cell:
+///
+/// * a `try_*` call either succeeds **bit-exactly** or returns
+///   `KernelError::FaultInjected`; it never unwinds and never returns a
+///   different error,
+/// * no scratch workspace stays outstanding after a faulted run (caller
+///   arena and every pool worker's thread-local arena),
+/// * the worker pool ends at its full complement (deaths respawned),
+/// * the circuit breaker demonstrably degrades to a correct serial run
+///   and closes again after a successful half-open probe.
+///
+/// Exits non-zero if any invariant is violated. The whole matrix replays
+/// bit-identically for a given `--seed`.
+fn chaos_mode(args: &[String]) {
+    use pixelimage::Image;
+    use simdbench_core::error::KernelError;
+    use simdbench_core::kernelgen::paper_gaussian_kernel;
+    use simdbench_core::pipeline::{
+        try_fused_gaussian_blur_with, try_par_fused_edge_detect_with, BandPlan,
+    };
+    use simdbench_core::scratch::{self, Scratch};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::{Duration, Instant};
+
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let quick = args.iter().any(|a| a == "--quick");
+    let (w, h) = if quick {
+        (160, 120)
+    } else {
+        Resolution::Vga.dims()
+    };
+    let runs_per_cell = if quick { 6 } else { 12 };
+
+    struct Cell {
+        failpoint: &'static str,
+        action: faultline::Action,
+        rate: f64,
+        /// Job watchdog armed while this cell runs.
+        watchdog_ms: Option<u64>,
+    }
+    let mut cells = Vec::new();
+    for &rate in &[0.25, 1.0] {
+        cells.push(Cell {
+            failpoint: "fused.entry",
+            action: faultline::Action::Error,
+            rate,
+            watchdog_ms: None,
+        });
+        cells.push(Cell {
+            failpoint: "par_fused.entry",
+            action: faultline::Action::Error,
+            rate,
+            watchdog_ms: None,
+        });
+        cells.push(Cell {
+            failpoint: "pipeline.band",
+            action: faultline::Action::Panic,
+            rate,
+            watchdog_ms: None,
+        });
+        cells.push(Cell {
+            failpoint: "pool.task",
+            action: faultline::Action::Panic,
+            rate,
+            watchdog_ms: None,
+        });
+        cells.push(Cell {
+            failpoint: "pool.worker",
+            action: faultline::Action::Panic,
+            rate,
+            watchdog_ms: None,
+        });
+        cells.push(Cell {
+            failpoint: "pool.task",
+            action: faultline::Action::Delay(25),
+            rate,
+            watchdog_ms: Some(10),
+        });
+    }
+
+    println!("Chaos mode: injected-fault matrix over the fused pipeline");
+    println!(
+        "image {w}x{h}, {} runs per arm per cell, base seed {seed}\n",
+        runs_per_cell
+    );
+
+    faultline::disarm_all();
+    rayon::reset_circuit_breaker();
+    rayon::set_job_watchdog(None);
+    obs::set_enabled(true);
+    obs::reset();
+
+    let engine = host_hand_engine();
+    let kernel = paper_gaussian_kernel();
+    let src = pixelimage::synthetic_image(w, h, seed);
+    // Small bands so the parallel arm schedules many tasks through the
+    // real pool (a cache-sized plan would fit the whole test frame in
+    // one band and bypass the scheduler entirely).
+    let plan = BandPlan { band_rows: 8 };
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .expect("pool build");
+    // Injected panics are expected by the thousand; silence the default
+    // hook's backtrace spam for the duration (restored before exit).
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    // Disarmed references for the bit-exactness checks, plus the healthy
+    // worker complement.
+    let mut gauss_ref = Image::<u8>::new(w, h);
+    simdbench_core::gaussian::gaussian_blur_kernel(&src, &mut gauss_ref, &kernel, engine);
+    let mut edge_ref = Image::<u8>::new(w, h);
+    simdbench_core::edge::edge_detect(&src, &mut edge_ref, 96, engine);
+    let mut par_dst = Image::<u8>::new(w, h);
+    pool.install(|| {
+        try_par_fused_edge_detect_with(&src, &mut par_dst, 96, engine, &plan)
+            .expect("disarmed warm-up run");
+    });
+    let complement = rayon::pool_live_workers();
+
+    let mut violations: Vec<String> = Vec::new();
+    println!(
+        "{:<16} {:<9} {:>5}  {:>6} {:>9}  {:>6} {:>9}",
+        "failpoint", "action", "rate", "seq-ok", "seq-fault", "par-ok", "par-fault"
+    );
+
+    for (index, cell) in cells.iter().enumerate() {
+        let label = format!("{} {:?} rate {}", cell.failpoint, cell.action, cell.rate);
+        faultline::disarm_all();
+        rayon::reset_circuit_breaker();
+        rayon::set_job_watchdog(cell.watchdog_ms.map(Duration::from_millis));
+        faultline::arm(cell.failpoint, cell.action, cell.rate, seed + index as u64);
+
+        let mut scratch = Scratch::new();
+        let (mut seq_ok, mut seq_fault) = (0u32, 0u32);
+        let (mut par_ok, mut par_fault) = (0u32, 0u32);
+        for _ in 0..runs_per_cell {
+            // Sequential arm: fused Gaussian with a caller-owned arena.
+            let mut dst = Image::<u8>::new(w, h);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                try_fused_gaussian_blur_with(&src, &mut dst, &kernel, engine, &mut scratch)
+            }));
+            match outcome {
+                Ok(Ok(())) => {
+                    seq_ok += 1;
+                    if !dst.pixels_eq(&gauss_ref) {
+                        violations.push(format!("{label}: seq Ok run not bit-exact"));
+                    }
+                }
+                Ok(Err(KernelError::FaultInjected { .. })) => seq_fault += 1,
+                Ok(Err(other)) => {
+                    violations.push(format!("{label}: seq unexpected error {other:?}"))
+                }
+                Err(_) => violations.push(format!("{label}: seq try_* unwound")),
+            }
+            if scratch.outstanding_bytes() != 0 {
+                violations.push(format!(
+                    "{label}: {} scratch bytes outstanding after seq run",
+                    scratch.outstanding_bytes()
+                ));
+            }
+
+            // Parallel arm: banded fused edge over the worker pool.
+            let mut dst = Image::<u8>::new(w, h);
+            let outcome = pool.install(|| {
+                catch_unwind(AssertUnwindSafe(|| {
+                    try_par_fused_edge_detect_with(&src, &mut dst, 96, engine, &plan)
+                }))
+            });
+            match outcome {
+                Ok(Ok(())) => {
+                    par_ok += 1;
+                    if !dst.pixels_eq(&edge_ref) {
+                        violations.push(format!("{label}: par Ok run not bit-exact"));
+                    }
+                }
+                Ok(Err(KernelError::FaultInjected { .. })) => par_fault += 1,
+                Ok(Err(other)) => {
+                    violations.push(format!("{label}: par unexpected error {other:?}"))
+                }
+                Err(_) => violations.push(format!("{label}: par try_* unwound")),
+            }
+        }
+        faultline::disarm_all();
+        rayon::set_job_watchdog(None);
+        println!(
+            "{:<16} {:<9} {:>5}  {:>6} {:>9}  {:>6} {:>9}",
+            cell.failpoint,
+            format!("{:?}", cell.action),
+            cell.rate,
+            seq_ok,
+            seq_fault,
+            par_ok,
+            par_fault
+        );
+    }
+
+    // Invariant: the pool returns to its full worker complement once the
+    // injected deaths stop (respawns are asynchronous; give them time).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while rayon::pool_live_workers() < complement && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let live = rayon::pool_live_workers();
+    if live < complement {
+        violations.push(format!(
+            "pool complement not restored: {live}/{complement} workers live"
+        ));
+    }
+
+    // Invariant: no pool worker's thread-local arena holds an
+    // un-returned workspace after the whole matrix.
+    let leaked = AtomicUsize::new(0);
+    pool.install(|| {
+        rayon::broadcast(|_| {
+            leaked.fetch_add(scratch::worker_arena_outstanding_bytes(), Ordering::Relaxed);
+        });
+    });
+    if leaked.load(Ordering::Relaxed) != 0 {
+        violations.push(format!(
+            "{} scratch bytes outstanding across worker arenas",
+            leaked.load(Ordering::Relaxed)
+        ));
+    }
+
+    // Circuit-breaker demonstration: open it with injected task panics,
+    // prove a degraded serial run completes bit-exactly, then close it
+    // through the half-open probe.
+    rayon::reset_circuit_breaker();
+    faultline::arm(
+        "pool.task",
+        faultline::Action::Panic,
+        1.0,
+        seed ^ 0x0B1E_A4E5,
+    );
+    let mut breaker_attempts = 0;
+    while !rayon::circuit_breaker_open() && breaker_attempts < 8 {
+        let mut dst = Image::<u8>::new(w, h);
+        let _ = pool.install(|| {
+            catch_unwind(AssertUnwindSafe(|| {
+                try_par_fused_edge_detect_with(&src, &mut dst, 96, engine, &plan)
+            }))
+        });
+        breaker_attempts += 1;
+    }
+    faultline::disarm_all();
+    if !rayon::circuit_breaker_open() {
+        violations.push("circuit breaker failed to open under repeated job panics".into());
+    }
+    let degraded_before = obs::snapshot().counter(obs::Counter::PoolDegradedRuns);
+    let mut dst = Image::<u8>::new(w, h);
+    let degraded_result =
+        pool.install(|| try_par_fused_edge_detect_with(&src, &mut dst, 96, engine, &plan));
+    let degraded_after = obs::snapshot().counter(obs::Counter::PoolDegradedRuns);
+    if degraded_result != Ok(()) || !dst.pixels_eq(&edge_ref) {
+        violations.push("degraded serial run failed or was not bit-exact".into());
+    }
+    if degraded_after == degraded_before {
+        violations.push("open breaker did not route through the degraded serial path".into());
+    }
+    let mut close_attempts = 0;
+    while rayon::circuit_breaker_open() && close_attempts < 32 {
+        let mut dst = Image::<u8>::new(w, h);
+        let _ = pool.install(|| try_par_fused_edge_detect_with(&src, &mut dst, 96, engine, &plan));
+        close_attempts += 1;
+    }
+    if rayon::circuit_breaker_open() {
+        violations.push("breaker failed to close after fault source removed".into());
+    }
+    rayon::reset_circuit_breaker();
+    std::panic::set_hook(prev_hook);
+
+    let snap = obs::snapshot();
+    println!("\nrecovery counters:");
+    println!(
+        "  pool.respawns       {}",
+        snap.counter(obs::Counter::PoolRespawns)
+    );
+    println!(
+        "  pool.watchdog_trips {}",
+        snap.counter(obs::Counter::PoolWatchdogTrips)
+    );
+    println!(
+        "  pool.degraded_runs  {}",
+        snap.counter(obs::Counter::PoolDegradedRuns)
+    );
+    println!(
+        "  workers live        {}/{} (complement restored)",
+        rayon::pool_live_workers(),
+        complement
+    );
+    println!("  breaker             open -> degraded serial (bit-exact) -> closed");
+
+    if violations.is_empty() {
+        println!("\nchaos matrix clean: every run completed or errored cleanly, no leaks");
+    } else {
+        println!("\n{} INVARIANT VIOLATIONS:", violations.len());
+        for v in &violations {
+            println!("  - {v}");
+        }
+        std::process::exit(1);
+    }
 }
 
 /// Section V: instruction-stream comparison of HAND vs AUTO per kernel.

@@ -190,6 +190,38 @@ fn repro_stats_reports_all_three_layers() {
 }
 
 #[test]
+fn repro_chaos_quick_reports_clean_matrix() {
+    let out = repro()
+        .args(["chaos", "--quick", "--seed", "7"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "chaos matrix reported violations:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    // Every fault family ran ...
+    for failpoint in [
+        "fused.entry",
+        "par_fused.entry",
+        "pipeline.band",
+        "pool.task",
+        "pool.worker",
+    ] {
+        assert!(text.contains(failpoint), "missing {failpoint} cell");
+    }
+    // ... the recovery machinery demonstrably engaged ...
+    assert!(text.contains("pool.respawns"));
+    assert!(text.contains("complement restored"));
+    assert!(text.contains("open -> degraded serial (bit-exact) -> closed"));
+    // ... and every invariant held.
+    assert!(text.contains("chaos matrix clean"));
+    assert!(!text.contains("INVARIANT VIOLATIONS"));
+}
+
+#[test]
 fn repro_rejects_unknown_command() {
     let out = repro().arg("bogus").output().unwrap();
     assert!(!out.status.success());

@@ -84,13 +84,22 @@ pub enum Counter {
     PoolWakeups,
     /// Nested parallel calls that ran inline inside a worker.
     PoolInlineNested,
+    /// Worker threads respawned after dying outside `catch_unwind`
+    /// (the pool's self-healing drop-guard).
+    PoolRespawns,
+    /// Jobs executed serially in-caller because the circuit breaker was
+    /// open (degraded mode after consecutive job failures).
+    PoolDegradedRuns,
+    /// Times a submitting thread's per-job watchdog deadline expired and
+    /// it started draining the job's queued tasks itself.
+    PoolWatchdogTrips,
     /// Timed passes executed by the measurement harness.
     HarnessPasses,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 14] = [
         Counter::PipelineBands,
         Counter::PipelineHaloRows,
         Counter::ScratchBytesAllocated,
@@ -101,6 +110,9 @@ impl Counter {
         Counter::PoolParks,
         Counter::PoolWakeups,
         Counter::PoolInlineNested,
+        Counter::PoolRespawns,
+        Counter::PoolDegradedRuns,
+        Counter::PoolWatchdogTrips,
         Counter::HarnessPasses,
     ];
 
@@ -123,6 +135,9 @@ impl Counter {
             Counter::PoolParks => "pool.parks",
             Counter::PoolWakeups => "pool.wakeups",
             Counter::PoolInlineNested => "pool.inline_nested",
+            Counter::PoolRespawns => "pool.respawns",
+            Counter::PoolDegradedRuns => "pool.degraded_runs",
+            Counter::PoolWatchdogTrips => "pool.watchdog_trips",
             Counter::HarnessPasses => "harness.passes",
         }
     }

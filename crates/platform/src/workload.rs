@@ -244,11 +244,21 @@ fn measure_hand(kernel: Kernel, isa: Isa) -> PixelMix {
 pub fn hand_mix(kernel: Kernel, isa: Isa) -> PixelMix {
     static CACHE: OnceLock<Mutex<HashMap<(Kernel, Isa), PixelMix>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    if let Some(mix) = cache.lock().unwrap().get(&(kernel, isa)) {
+    // Poison-tolerant: a panic in an unrelated caller must not wedge the
+    // cache for every later query (the map holds plain Copy values, so a
+    // poisoned guard is still coherent).
+    if let Some(mix) = cache
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(&(kernel, isa))
+    {
         return *mix;
     }
     let mix = measure_hand(kernel, isa);
-    cache.lock().unwrap().insert((kernel, isa), mix);
+    cache
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert((kernel, isa), mix);
     mix
 }
 

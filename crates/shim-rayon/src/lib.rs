@@ -50,6 +50,36 @@
 //! depth high-water; disabled, each site costs one flag branch (see
 //! `obs`'s cost model and the pool-counter aggregation test in
 //! `tests/telemetry.rs`).
+//!
+//! # Self-healing
+//!
+//! The pool tolerates its own workers dying, not just leaf panics:
+//!
+//! * **Worker respawn.** Leaf panics are caught and carried to the latch,
+//!   but a panic that escapes the leaf guard (injected via the
+//!   `pool.worker` failpoint, or a defect in the scheduler itself) kills
+//!   the worker thread. A drop guard in [`Pool::worker_entry`] notices the
+//!   unwind and respawns the same slot, so the pool returns to its full
+//!   complement (`pool.respawns` counter, [`pool_live_workers`]).
+//! * **Job watchdog.** With [`set_job_watchdog`] armed, a submitter that
+//!   waits longer than the deadline stops trusting the workers and drains
+//!   the job's still-queued tasks inline on its own thread
+//!   (`pool.watchdog_trips`). Combined with the latch drop guard below,
+//!   a job can therefore always finish even if every worker died.
+//! * **Latch drop guard.** Each task's `pending` decrement lives in a
+//!   drop guard around the leaf, so latch accounting settles exactly once
+//!   per task even when the worker running it unwinds to death.
+//! * **Circuit breaker.** Three consecutive parallel-job failures open a
+//!   breaker: the next eight jobs run serially in the submitting thread
+//!   (`pool.degraded_runs`) — degraded but correct — after which one job
+//!   runs parallel as a half-open probe; success closes the breaker,
+//!   failure re-opens it. [`circuit_breaker_open`] / [`reset_circuit_breaker`]
+//!   expose the state for harnesses.
+//!
+//! All of it is deterministic-testable through `faultline`'s `pool.task`
+//! (inside the leaf guard: surfaces as a job error) and `pool.worker`
+//! (after the leaf guard: kills the worker) failpoints; when no failpoint
+//! is armed each costs one relaxed load and branch per task.
 
 use std::any::Any;
 use std::cell::Cell;
@@ -58,6 +88,7 @@ use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
 
 thread_local! {
     /// Thread-count override installed by [`ThreadPool::install`].
@@ -83,6 +114,88 @@ pub fn current_num_threads() -> usize {
 /// uses it to run nested parallel calls inline).
 pub fn worker_index() -> Option<usize> {
     WORKER_INDEX.with(|w| w.get())
+}
+
+// ---------------------------------------------------------------------------
+// Fault tolerance: watchdog, circuit breaker, worker-complement ledger
+// ---------------------------------------------------------------------------
+
+/// Per-job latch deadline in milliseconds; 0 disables the watchdog.
+static JOB_WATCHDOG_MS: AtomicU64 = AtomicU64::new(0);
+/// Worker threads currently alive (incremented on entry, decremented when
+/// one dies; a respawned slot increments again).
+static LIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+/// Consecutive parallel-job failures; any success resets to zero.
+static BREAKER_FAILS: AtomicUsize = AtomicUsize::new(0);
+/// Remaining serial degraded runs while the breaker is open.
+static BREAKER_COOLDOWN: AtomicUsize = AtomicUsize::new(0);
+
+/// Consecutive failures that open the circuit breaker.
+const BREAKER_TRIP: usize = 3;
+/// Serial degraded runs served while open, before a half-open probe.
+const BREAKER_COOLDOWN_RUNS: usize = 8;
+
+/// Arms (or with `None` disarms) the per-job watchdog: a submitter whose
+/// latch wait exceeds `deadline` drains the job's still-queued tasks
+/// inline on its own thread. Sub-millisecond deadlines round up to 1 ms.
+pub fn set_job_watchdog(deadline: Option<Duration>) {
+    let ms = deadline.map_or(0, |d| (d.as_millis() as u64).max(1));
+    JOB_WATCHDOG_MS.store(ms, Ordering::Relaxed);
+}
+
+/// Number of pool worker threads currently alive. Transiently below the
+/// spawned complement while a dead worker's replacement is starting.
+pub fn pool_live_workers() -> usize {
+    LIVE_WORKERS.load(Ordering::SeqCst)
+}
+
+/// Whether the circuit breaker has tripped (jobs degrade to serial
+/// in-caller execution until a half-open probe succeeds).
+pub fn circuit_breaker_open() -> bool {
+    BREAKER_FAILS.load(Ordering::SeqCst) >= BREAKER_TRIP
+}
+
+/// Force-closes the circuit breaker (test and harness hook).
+pub fn reset_circuit_breaker() {
+    BREAKER_FAILS.store(0, Ordering::SeqCst);
+    BREAKER_COOLDOWN.store(0, Ordering::SeqCst);
+}
+
+/// If the breaker is open, consumes one cooldown slot and returns `true`
+/// (caller must run serially). Once the cooldown is exhausted the caller
+/// becomes the half-open probe and runs in parallel.
+fn breaker_take_degraded_slot() -> bool {
+    if BREAKER_FAILS.load(Ordering::SeqCst) < BREAKER_TRIP {
+        return false;
+    }
+    let mut left = BREAKER_COOLDOWN.load(Ordering::SeqCst);
+    while left > 0 {
+        match BREAKER_COOLDOWN.compare_exchange_weak(
+            left,
+            left - 1,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => return true,
+            Err(now) => left = now,
+        }
+    }
+    false
+}
+
+/// Records a parallel job that re-raised a panic at its latch. Opening
+/// (or re-opening, for a failed half-open probe) refills the cooldown.
+fn breaker_record_failure() {
+    let fails = BREAKER_FAILS.fetch_add(1, Ordering::SeqCst) + 1;
+    if fails >= BREAKER_TRIP {
+        BREAKER_COOLDOWN.store(BREAKER_COOLDOWN_RUNS, Ordering::SeqCst);
+    }
+}
+
+/// Records a clean parallel job: consecutive-failure count resets, which
+/// also closes the breaker after a successful half-open probe.
+fn breaker_record_success() {
+    BREAKER_FAILS.store(0, Ordering::SeqCst);
 }
 
 // ---------------------------------------------------------------------------
@@ -175,7 +288,7 @@ impl Pool {
             let index = *spawned;
             std::thread::Builder::new()
                 .name(format!("rayon-shim-worker-{index}"))
-                .spawn(move || self.worker_loop(index))
+                .spawn(move || self.worker_entry(index))
                 .expect("failed to spawn pool worker");
             *spawned += 1;
         }
@@ -242,6 +355,11 @@ impl Pool {
     /// Runs one task: splits it down to the job's grain (pushing the far
     /// halves for other workers to steal), executes the leaf, and settles
     /// the job's latch accounting.
+    ///
+    /// The `pending` decrement lives in a drop guard so it runs exactly
+    /// once per task even if this thread unwinds past the leaf's own
+    /// catch (the `pool.worker` failpoint, or a scheduler defect): the
+    /// job still completes, only the worker dies — and is respawned.
     fn execute(&self, me: usize, task: Task) {
         obs::add(obs::Counter::PoolTasks, 1);
         // SAFETY: `pending` includes this task, so the header is alive.
@@ -262,19 +380,99 @@ impl Pool {
             );
             end = mid;
         }
-        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (job.run)(start, end))) {
+        struct LatchSettle(*const JobShared);
+        impl Drop for LatchSettle {
+            fn drop(&mut self) {
+                // SAFETY: this task's slot of `pending` is still ours.
+                let job = unsafe { &*self.0 };
+                if job.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    let mut done = lock(&job.done);
+                    *done = true;
+                    job.done_cv.notify_all();
+                    // The submitter may free the job as soon as it
+                    // observes the flag; nothing may touch `job` after.
+                }
+            }
+        }
+        let settle = LatchSettle(task.job);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+            // Inside the guard: an injected panic here is a *task*
+            // failure, carried to the latch like any leaf panic.
+            faultline::fire("pool.task");
+            (job.run)(start, end)
+        })) {
             let mut slot = lock(&job.panic);
             if slot.is_none() {
                 *slot = Some(payload);
             }
         }
-        if job.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
-            let mut done = lock(&job.done);
-            *done = true;
-            job.done_cv.notify_all();
-            // The submitter may free the job as soon as it observes the
-            // flag; nothing below this line may touch `job`.
+        drop(settle);
+        // Past the guard: an injected panic here unwinds the worker
+        // thread itself, *after* the job's accounting is settled — no
+        // work is lost, the latch cannot hang, and the respawn guard in
+        // `worker_entry` restores the complement.
+        faultline::fire("pool.worker");
+    }
+
+    /// Pops every still-queued task of `job` and runs it on the calling
+    /// (submitting) thread. The watchdog's help-drain: leaves run
+    /// directly — no splitting and no `pool.task` failpoint, so an armed
+    /// delay or panic cannot also sabotage the rescue path.
+    fn drain_job_inline(&self, job: &JobShared) {
+        let job_ptr: *const JobShared = job;
+        loop {
+            let mut found = None;
+            for q in &self.queues {
+                let mut q = lock(q);
+                if let Some(pos) = q.iter().position(|t| std::ptr::eq(t.job, job_ptr)) {
+                    found = q.remove(pos);
+                    break;
+                }
+            }
+            let Some(task) = found else { break };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (job.run)(task.start, task.end)))
+            {
+                let mut slot = lock(&job.panic);
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            if job.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                let mut done = lock(&job.done);
+                *done = true;
+                job.done_cv.notify_all();
+            }
         }
+    }
+
+    /// Thread entry: runs the worker loop under a respawn guard. If the
+    /// loop ever unwinds (it contains no `return`), the guard starts a
+    /// replacement thread on the same slot, keeping the pool at full
+    /// complement without touching the `spawned` ledger.
+    fn worker_entry(&'static self, index: usize) {
+        struct RespawnGuard {
+            pool: &'static Pool,
+            index: usize,
+        }
+        impl Drop for RespawnGuard {
+            fn drop(&mut self) {
+                LIVE_WORKERS.fetch_sub(1, Ordering::SeqCst);
+                if std::thread::panicking() {
+                    obs::add(obs::Counter::PoolRespawns, 1);
+                    let pool = self.pool;
+                    let index = self.index;
+                    // Spawn failure (resource exhaustion) leaves the slot
+                    // empty; queued tasks remain stealable and the job
+                    // watchdog covers the pathological all-dead case.
+                    let _ = std::thread::Builder::new()
+                        .name(format!("rayon-shim-worker-{index}"))
+                        .spawn(move || pool.worker_entry(index));
+                }
+            }
+        }
+        LIVE_WORKERS.fetch_add(1, Ordering::SeqCst);
+        let _respawn = RespawnGuard { pool: self, index };
+        self.worker_loop(index);
     }
 
     /// The body of every worker thread.
@@ -306,6 +504,15 @@ fn run_job(len: usize, width: usize, leaf: &(dyn Fn(usize, usize) + Sync)) {
     let pool = pool();
     let width = pool.ensure_workers(width).min(len).max(1);
     if width <= 1 {
+        leaf(0, len);
+        return;
+    }
+    if breaker_take_degraded_slot() {
+        // Breaker open: serial in-caller execution — degraded, correct,
+        // and immune to whatever is killing the workers. A panic here
+        // propagates directly and does not count against the breaker
+        // (degraded runs measure pool health, not kernel health).
+        obs::add(obs::Counter::PoolDegradedRuns, 1);
         leaf(0, len);
         return;
     }
@@ -344,14 +551,40 @@ fn run_job(len: usize, width: usize, leaf: &(dyn Fn(usize, usize) + Sync)) {
         );
         start += size;
     }
+    let watchdog_ms = JOB_WATCHDOG_MS.load(Ordering::Relaxed);
     let mut done = lock(&job.done);
-    while !*done {
-        done = job.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
+    if watchdog_ms == 0 {
+        while !*done {
+            done = job.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+    } else {
+        let deadline = Duration::from_millis(watchdog_ms);
+        while !*done {
+            let (guard, timeout) = job
+                .done_cv
+                .wait_timeout(done, deadline)
+                .unwrap_or_else(|e| e.into_inner());
+            done = guard;
+            if timeout.timed_out() && !*done {
+                // Deadline blown: stop trusting the workers and drain
+                // whatever is still queued on the submitting thread.
+                // Tasks already *executing* on a live worker still settle
+                // through their own latch guards; we re-wait after.
+                obs::add(obs::Counter::PoolWatchdogTrips, 1);
+                drop(done);
+                pool.drain_job_inline(&job);
+                done = lock(&job.done);
+            }
+        }
     }
     drop(done);
     let payload = lock(&job.panic).take();
-    if let Some(payload) = payload {
-        resume_unwind(payload);
+    match payload {
+        Some(payload) => {
+            breaker_record_failure();
+            resume_unwind(payload);
+        }
+        None => breaker_record_success(),
     }
 }
 

@@ -10,6 +10,10 @@ cargo build --release
 echo "==> pool stress (scheduler regressions fail fast)"
 cargo test -q -p rayon pool_stress_many_small_calls
 
+echo "==> chaos stress (fault-tolerance regressions fail fast; pinned seed)"
+cargo test -q -p rayon --test chaos
+cargo run -q --release -p repro-harness --bin repro -- chaos --quick --seed 42
+
 echo "==> telemetry fail-fast (overhead smoke + pool-counter aggregation)"
 cargo test -q -p simdbench-core --test telemetry_overhead
 cargo test -q -p rayon --test telemetry
