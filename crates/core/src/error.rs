@@ -19,7 +19,11 @@
 //! * resource and configuration faults —
 //!   [`KernelError::ArenaExhausted`], [`KernelError::BadKernel`],
 //!   [`KernelError::FaultInjected`] (a `faultline` forced error
-//!   surfacing through a fallible API).
+//!   surfacing through a fallible API),
+//!
+//! plus overload — [`KernelError::DeadlineExceeded`], the stream
+//! engine's load-shedding verdict (DESIGN.md §11): a frame rejected for
+//! blowing its SLO is an *error the caller sees*, never a silent drop.
 
 use std::fmt;
 
@@ -99,6 +103,15 @@ pub enum KernelError {
         /// Name of the failpoint that tripped.
         failpoint: String,
     },
+    /// A streamed frame whose service-level deadline had already passed
+    /// when it reached the head of the admission queue; the stream
+    /// engine sheds it instead of starting doomed work.
+    DeadlineExceeded {
+        /// Microseconds the frame waited after admission.
+        waited_us: u64,
+        /// The configured service-level objective, in microseconds.
+        slo_us: u64,
+    },
 }
 
 impl fmt::Display for KernelError {
@@ -143,6 +156,12 @@ impl fmt::Display for KernelError {
             }
             KernelError::FaultInjected { failpoint } => {
                 write!(f, "injected fault at failpoint {failpoint}")
+            }
+            KernelError::DeadlineExceeded { waited_us, slo_us } => {
+                write!(
+                    f,
+                    "frame deadline exceeded: waited {waited_us}us, SLO {slo_us}us"
+                )
             }
         }
     }

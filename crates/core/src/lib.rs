@@ -47,6 +47,7 @@ pub mod pipeline;
 pub mod resize;
 pub mod scratch;
 pub mod sobel;
+pub mod stream;
 pub mod threshold;
 
 pub use dispatch::{set_use_optimized, use_optimized, with_use_optimized, Engine};
@@ -66,6 +67,9 @@ pub mod prelude {
     };
     pub use crate::scratch::Scratch;
     pub use crate::sobel::{sobel, SobelDirection};
+    pub use crate::stream::{
+        FrameOutcome, FrameStatus, StreamConfig, StreamEngine, StreamError, StreamKernel,
+    };
     pub use crate::threshold::{threshold_u8, ThresholdType};
     pub use pixelimage::{Image, Resolution};
 }

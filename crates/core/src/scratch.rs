@@ -283,6 +283,16 @@ impl Scratch {
         })
     }
 
+    /// Pre-warms the arena for `spec`: checks a workspace out and
+    /// straight back in, so the next checkout of the same shape is
+    /// allocation-free. The stream engine warms each slot arena at
+    /// construction time, making even the *first* frame through a slot
+    /// part of the zero-allocation steady state.
+    pub fn warm(&mut self, spec: WorkspaceSpec) {
+        let ws = self.checkout(spec);
+        self.give_back(ws);
+    }
+
     /// Returns a workspace to the pool for later reuse.
     pub fn give_back(&mut self, ws: BandWorkspace) {
         self.outstanding = self.outstanding.saturating_sub(1);

@@ -1,0 +1,116 @@
+//! Allocator-level proof of the stream engine's steady-state
+//! zero-allocation contract: once the slot ring is warm, streaming
+//! frames performs **no** heap allocations on any pool worker thread.
+//! Frame workspaces come from the warmed per-slot arenas, outcome
+//! capacity is reserved by the submitting thread, and the slot/queue
+//! rings reuse their capacity.
+//!
+//! Only *worker-side* allocations are counted (the same carve-out as
+//! `fused_zero_alloc.rs`): the submitting thread reserves outcome
+//! capacity and the dispatcher thread boxes one closure per dispatched
+//! frame — both are bounded dispatch bookkeeping, not per-pixel work.
+//! Workers are identified with a `broadcast` that sets a
+//! const-initialised thread-local flag.
+//!
+//! The whole file is a single `#[test]` because the counter is global
+//! and the libtest harness runs sibling tests on other threads.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn should_count() -> bool {
+    COUNTING.load(Ordering::Relaxed)
+        // `try_with` so a (de)allocation during TLS teardown cannot panic.
+        && IS_WORKER.try_with(Cell::get).unwrap_or(false)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if should_count() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if should_count() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_stream_does_not_allocate_on_workers() {
+    use pixelimage::synthetic_image;
+    use simdbench_core::dispatch::Engine;
+    use simdbench_core::stream::{summarize, StreamConfig, StreamEngine, StreamError};
+
+    let (w, h) = (257, 53); // odd width: scalar tails + SIMD interior
+    let src = Arc::new(synthetic_image(w, h, 163));
+    let mut cfg = StreamConfig::new(w, h);
+    cfg.engine = Engine::Native;
+    cfg.slots = 2;
+    cfg.queue_cap = 4;
+    let engine = StreamEngine::new(cfg).expect("engine");
+
+    // Mark every pool worker so the allocator can attribute allocations.
+    // The broadcast also forces the pool up to the same complement the
+    // engine's dispatcher will target, before any counting starts.
+    rayon::broadcast(|_| IS_WORKER.with(|c| c.set(true)));
+
+    let submit_closed_loop = |id: u64| loop {
+        match engine.submit(id, Arc::clone(&src)) {
+            Ok(()) => return,
+            Err(StreamError::Saturated { .. }) => engine.wait_idle(),
+            Err(e) => panic!("unexpected rejection: {e}"),
+        }
+    };
+
+    // Warm passes: every slot arena fills, every worker touches the
+    // frame path once, deques reach steady capacity.
+    for id in 0..8u64 {
+        submit_closed_loop(id);
+    }
+    engine.wait_idle();
+    let warm_allocs = engine.slot_fresh_allocs();
+
+    // Steady state: zero worker-side allocations, enforced at the
+    // global allocator, across a batch larger than the slot ring.
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for id in 8..40u64 {
+        submit_closed_loop(id);
+    }
+    engine.wait_idle();
+    COUNTING.store(false, Ordering::SeqCst);
+    let n = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        n, 0,
+        "steady-state streaming allocated {n} times on pool workers"
+    );
+
+    // The arena ledger agrees with the allocator.
+    assert_eq!(engine.slot_fresh_allocs(), warm_allocs);
+    assert_eq!(engine.outstanding_scratch_bytes(), 0);
+    let outcomes = engine.finish();
+    assert_eq!(summarize(&outcomes).completed, 40);
+}

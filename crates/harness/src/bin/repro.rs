@@ -12,14 +12,19 @@
 //! repro parallel [--quick] [--full] [--csv FILE] # pool vs per-call-spawn dispatch
 //! repro stats [--full] [--json FILE] # instrumented exercise -> telemetry report
 //! repro chaos [--seed N] [--quick]   # fault-injection matrix over the fused pipeline
+//! repro stream [--quick] [--frames N] [--rate FPS] [--json FILE]
+//!                              # streaming engine: throughput-latency report
 //! repro csv [dir]              # write every table/figure as CSV files
 //! repro all                    # everything except host mode
 //! ```
 //!
-//! `host`, `fused` and `parallel` also accept `--telemetry` (optionally
-//! `--json FILE`, default `results/telemetry.json`): the run executes
-//! with the `obs` layer enabled and finishes with the span-tree /
-//! counter / histogram report plus a machine-readable JSON dump.
+//! `host`, `fused`, `parallel` and `stream` also accept `--telemetry`:
+//! the run executes with the `obs` layer enabled and finishes with the
+//! span-tree / counter / histogram report plus a machine-readable JSON
+//! dump. Telemetry output is namespaced per subcommand
+//! (`results/telemetry_<cmd>.json`) so runs don't clobber each other;
+//! override with `--json FILE` (`--telemetry-json FILE` for `stream`,
+//! whose `--json` names the throughput report).
 
 use pixelimage::Resolution;
 use platform_model::{all_platforms, Isa, Kernel};
@@ -46,6 +51,7 @@ fn main() {
         "parallel" => parallel_mode(&args[1..]),
         "stats" => stats_mode(&args[1..]),
         "chaos" => chaos_mode(&args[1..]),
+        "stream" => stream_mode(&args[1..]),
         "csv" => {
             let dir = args.get(1).cloned().unwrap_or_else(|| "results".into());
             if let Err(e) = write_csvs(&dir) {
@@ -71,7 +77,7 @@ fn main() {
         other => {
             eprintln!("unknown command: {other}");
             eprintln!(
-                "usage: repro [table1|table2|table3|figure2..figure6|asm-analysis|energy|host|fused|parallel|stats|chaos|all]"
+                "usage: repro [table1|table2|table3|figure2..figure6|asm-analysis|energy|host|fused|parallel|stats|chaos|stream|all]"
             );
             std::process::exit(2);
         }
@@ -143,7 +149,8 @@ fn stats_mode(args: &[String]) {
     use repro_harness::timing::{measure_fused, measure_parallel, ParallelMode};
 
     let full = args.iter().any(|a| a == "--full");
-    let json_path = flag_value(args, "--json").unwrap_or_else(|| "results/telemetry.json".into());
+    let json_path =
+        flag_value(args, "--json").unwrap_or_else(|| "results/telemetry_stats.json".into());
     let res = if full {
         Resolution::Mp8
     } else {
@@ -501,6 +508,296 @@ fn chaos_mode(args: &[String]) {
     }
 }
 
+/// Stream mode: drives N synthetic frames through the multi-frame
+/// streaming engine (DESIGN.md §11) at a configurable offered rate and
+/// reports throughput, latency distribution, and shed/reject counts.
+///
+/// `--rate FPS` runs open-loop: frames are offered on schedule and a
+/// saturated queue rejects them (the backpressure the report counts).
+/// `--rate 0` (default) runs closed-loop: submission retries until
+/// admitted, measuring the engine's capacity.
+///
+/// `--quick` is the CI smoke: small frames at a gentle rate, asserting
+/// zero shed, zero failures, bit-exact output against the serial fused
+/// kernel, and a flat slot-arena ledger across the steady state (the
+/// zero-allocation proof). Exits non-zero on any violation.
+fn stream_mode(args: &[String]) {
+    use simdbench_core::kernelgen::paper_gaussian_kernel;
+    use simdbench_core::pipeline::{try_fused_edge_detect_with, try_fused_gaussian_blur_with};
+    use simdbench_core::scratch::Scratch;
+    use simdbench_core::stream::{
+        frame_checksum, summarize, FrameStatus, StreamConfig, StreamEngine, StreamError,
+        StreamKernel,
+    };
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let telemetry = telemetry_requested(args);
+    let telemetry_path = flag_value(args, "--telemetry-json")
+        .unwrap_or_else(|| "results/telemetry_stream.json".into());
+    let json_path = flag_value(args, "--json").unwrap_or_else(|| "results/stream.json".into());
+
+    let (width, height, res_label) = if quick {
+        (160, 120, "160x120".to_string())
+    } else {
+        let res = flag_value(args, "--image")
+            .and_then(|want| Resolution::ALL.into_iter().find(|r| r.label() == want))
+            .unwrap_or(Resolution::Vga);
+        let (w, h) = res.dims();
+        (w, h, res.label().to_string())
+    };
+    let frames: u64 = flag_value(args, "--frames")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if quick { 48 } else { 240 });
+    let rate: f64 = flag_value(args, "--rate")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if quick { 120.0 } else { 0.0 });
+    let slo_ms: Option<u64> = flag_value(args, "--slo-ms").and_then(|s| s.parse().ok());
+    let kernel = match flag_value(args, "--kernel").as_deref() {
+        Some("edge") => StreamKernel::Edge,
+        _ => StreamKernel::Gaussian,
+    };
+
+    let mut config = StreamConfig::new(width, height);
+    config.kernel = kernel;
+    config.engine = host_hand_engine();
+    if let Some(n) = flag_value(args, "--slots").and_then(|s| s.parse().ok()) {
+        config.slots = n;
+    }
+    if let Some(n) = flag_value(args, "--queue").and_then(|s| s.parse().ok()) {
+        config.queue_cap = n;
+    }
+    // Quick keeps a generous SLO armed so the shed path is live (and
+    // provably silent at this rate); full runs shed only on request.
+    config.slo = slo_ms
+        .or(if quick { Some(1000) } else { None })
+        .map(Duration::from_millis);
+
+    println!("Stream mode: multi-frame engine over the fused pipeline");
+    println!(
+        "frame {res_label}, {} frames, offered rate {}, {} slots, queue cap {}, kernel {:?}\n",
+        frames,
+        if rate > 0.0 {
+            format!("{rate} fps (open loop)")
+        } else {
+            "max (closed loop)".into()
+        },
+        config.slots,
+        config.queue_cap,
+        config.kernel,
+    );
+
+    let src = Arc::new(pixelimage::synthetic_image(width, height, 7));
+    // Serial reference checksum for the bit-exactness check.
+    let want = {
+        let mut reference = pixelimage::Image::new(width, height);
+        let mut scratch = Scratch::new();
+        match config.kernel {
+            StreamKernel::Gaussian => try_fused_gaussian_blur_with(
+                &src,
+                &mut reference,
+                &paper_gaussian_kernel(),
+                config.engine,
+                &mut scratch,
+            ),
+            StreamKernel::Edge => try_fused_edge_detect_with(
+                &src,
+                &mut reference,
+                config.thresh,
+                config.engine,
+                &mut scratch,
+            ),
+        }
+        .expect("serial reference run");
+        frame_checksum(&reference)
+    };
+
+    let slo_for_json = config.slo;
+    let (slots, queue_cap) = (config.slots.max(1), config.queue_cap.max(1));
+    let engine = match StreamEngine::new(config) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("stream config rejected: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // Warm-up: one closed-loop pass per slot settles every arena, then
+    // the ledger must stay flat for the measured run.
+    for id in 0..4u64 {
+        while let Err(StreamError::Saturated { .. }) = engine.submit(id, Arc::clone(&src)) {
+            engine.wait_idle();
+        }
+    }
+    engine.wait_idle();
+    let warm_allocs = engine.slot_fresh_allocs();
+
+    let start = Instant::now();
+    let mut rejected = 0u64;
+    for i in 0..frames {
+        if rate > 0.0 {
+            let target = start + Duration::from_secs_f64(i as f64 / rate);
+            let now = Instant::now();
+            if target > now {
+                std::thread::sleep(target - now);
+            }
+        }
+        loop {
+            match engine.submit(100 + i, Arc::clone(&src)) {
+                Ok(()) => break,
+                Err(StreamError::Saturated { .. }) if rate > 0.0 => {
+                    // Open loop: the offered frame is lost to
+                    // backpressure; that IS the measurement.
+                    rejected += 1;
+                    break;
+                }
+                Err(StreamError::Saturated { .. }) => {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                Err(e) => {
+                    eprintln!("frame {i} rejected: {e}");
+                    rejected += 1;
+                    break;
+                }
+            }
+        }
+    }
+    engine.wait_idle();
+    let wall = start.elapsed();
+    let end_allocs = engine.slot_fresh_allocs();
+    let outstanding = engine.outstanding_scratch_bytes();
+    let outcomes = engine.finish();
+
+    // Warm-up outcomes (ids < 100) are excluded from the report.
+    let measured: Vec<_> = outcomes.into_iter().filter(|o| o.id >= 100).collect();
+    let summary = summarize(&measured);
+    let mismatched = measured
+        .iter()
+        .filter(|o| matches!(o.status, FrameStatus::Completed { checksum } if checksum != want))
+        .count();
+    let mut latencies: Vec<f64> = measured
+        .iter()
+        .filter(|o| matches!(o.status, FrameStatus::Completed { .. }))
+        .map(|o| o.latency.as_secs_f64())
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx]
+    };
+    let mean = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+    let throughput = summary.completed as f64 / wall.as_secs_f64();
+
+    println!("offered     {frames}");
+    println!("rejected    {rejected}  (queue backpressure)");
+    println!("shed        {}  (SLO expired in queue)", summary.shed);
+    println!("failed      {}", summary.failed);
+    println!(
+        "completed   {}  ({mismatched} checksum mismatches)",
+        summary.completed
+    );
+    println!(
+        "degraded    {}  (breaker-open serial frames)",
+        summary.degraded
+    );
+    println!("wall        {:.3}s", wall.as_secs_f64());
+    println!("throughput  {throughput:.1} frames/s");
+    println!(
+        "latency     mean {:.6}s  p50 {:.6}s  p95 {:.6}s  max {:.6}s",
+        mean,
+        pct(0.50),
+        pct(0.95),
+        pct(1.0)
+    );
+    println!("slot arenas fresh allocs {warm_allocs} -> {end_allocs}, {outstanding} B outstanding");
+
+    let report = StreamReport {
+        width,
+        height,
+        res_label: res_label.clone(),
+        frames,
+        rate,
+        slots,
+        queue_cap,
+        slo_ms: slo_for_json.map(|d| d.as_millis() as u64),
+        kernel: match kernel {
+            StreamKernel::Gaussian => "gaussian",
+            StreamKernel::Edge => "edge",
+        },
+        rejected,
+        shed: summary.shed,
+        failed: summary.failed,
+        completed: summary.completed,
+        degraded: summary.degraded,
+        mean_s: mean,
+        p50_s: pct(0.50),
+        p95_s: pct(0.95),
+        max_s: pct(1.0),
+        throughput_fps: throughput,
+        wall_s: wall.as_secs_f64(),
+        warm_allocs,
+        end_allocs,
+        outstanding,
+        mismatched,
+    };
+    if let Err(e) = write_stream_json(&json_path, &report) {
+        eprintln!("cannot write {json_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {json_path}");
+
+    if telemetry {
+        telemetry_report(&telemetry_path);
+    }
+
+    if quick {
+        let mut violations = Vec::new();
+        if summary.shed != 0 {
+            violations.push(format!("{} frames shed at smoke rate", summary.shed));
+        }
+        if summary.failed != 0 {
+            violations.push(format!("{} frames failed", summary.failed));
+        }
+        if rejected != 0 {
+            violations.push(format!("{rejected} frames rejected at smoke rate"));
+        }
+        if summary.completed as u64 != frames {
+            violations.push(format!(
+                "{} of {frames} frames completed",
+                summary.completed
+            ));
+        }
+        if mismatched != 0 {
+            violations.push(format!("{mismatched} frames not bit-exact vs serial"));
+        }
+        if end_allocs != warm_allocs {
+            violations.push(format!(
+                "slot arenas grew at steady state: {warm_allocs} -> {end_allocs} fresh allocs"
+            ));
+        }
+        if outstanding != 0 {
+            violations.push(format!("{outstanding} scratch bytes outstanding"));
+        }
+        if violations.is_empty() {
+            println!("stream smoke clean: zero shed, zero alloc growth, bit-exact");
+        } else {
+            println!("\n{} STREAM SMOKE VIOLATIONS:", violations.len());
+            for v in &violations {
+                println!("  - {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Section V: instruction-stream comparison of HAND vs AUTO per kernel.
 fn asm_analysis() {
     use op_trace::analysis::{StreamComparison, StreamProfile};
@@ -569,7 +866,7 @@ fn fused_mode(args: &[String]) {
     let csv_path = flag_value(args, "--csv");
     let telemetry = telemetry_requested(args);
     let telemetry_path =
-        flag_value(args, "--json").unwrap_or_else(|| "results/telemetry.json".into());
+        flag_value(args, "--json").unwrap_or_else(|| "results/telemetry_fused.json".into());
     let config = if quick {
         HostConfig::quick()
     } else {
@@ -643,7 +940,7 @@ fn parallel_mode(args: &[String]) {
     let csv_path = flag_value(args, "--csv");
     let telemetry = telemetry_requested(args);
     let telemetry_path =
-        flag_value(args, "--json").unwrap_or_else(|| "results/telemetry.json".into());
+        flag_value(args, "--json").unwrap_or_else(|| "results/telemetry_parallel.json".into());
     let config = if quick {
         HostConfig::quick()
     } else {
@@ -732,7 +1029,7 @@ fn host_mode(args: &[String]) {
     let csv_path = flag_value(args, "--csv");
     let telemetry = telemetry_requested(args);
     let telemetry_path =
-        flag_value(args, "--json").unwrap_or_else(|| "results/telemetry.json".into());
+        flag_value(args, "--json").unwrap_or_else(|| "results/telemetry_host.json".into());
     let bench_path =
         flag_value(args, "--bench-json").unwrap_or_else(|| "results/bench_host.json".into());
     let config = if quick {
@@ -821,6 +1118,86 @@ fn host_mode(args: &[String]) {
     if telemetry {
         telemetry_report(&telemetry_path);
     }
+}
+
+/// Everything the stream-mode JSON report records: configuration,
+/// counts, latency distribution, throughput, and the slot-arena ledger
+/// evidence for the zero-allocation claim.
+struct StreamReport {
+    width: usize,
+    height: usize,
+    res_label: String,
+    frames: u64,
+    rate: f64,
+    slots: usize,
+    queue_cap: usize,
+    slo_ms: Option<u64>,
+    kernel: &'static str,
+    rejected: u64,
+    shed: usize,
+    failed: usize,
+    completed: usize,
+    degraded: usize,
+    mean_s: f64,
+    p50_s: f64,
+    p95_s: f64,
+    max_s: f64,
+    throughput_fps: f64,
+    wall_s: f64,
+    warm_allocs: usize,
+    end_allocs: usize,
+    outstanding: usize,
+    mismatched: usize,
+}
+
+/// Writes the machine-readable stream-mode dump consumed by the
+/// EXPERIMENTS.md A14 throughput-vs-offered-rate analysis.
+fn write_stream_json(path: &str, r: &StreamReport) -> std::io::Result<()> {
+    use obs::json::number;
+
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"image\": \"{}\", \"width\": {}, \"height\": {}, \"frames\": {}, \
+         \"offered_rate_fps\": {}, \"slots\": {}, \"queue_cap\": {}, \"slo_ms\": {}, \
+         \"kernel\": \"{}\"}},\n",
+        r.res_label,
+        r.width,
+        r.height,
+        r.frames,
+        number(r.rate),
+        r.slots,
+        r.queue_cap,
+        r.slo_ms.map_or("null".into(), |v| v.to_string()),
+        r.kernel,
+    ));
+    out.push_str(&format!(
+        "  \"counts\": {{\"offered\": {}, \"rejected\": {}, \"shed\": {}, \"failed\": {}, \
+         \"completed\": {}, \"degraded\": {}, \"checksum_mismatches\": {}}},\n",
+        r.frames, r.rejected, r.shed, r.failed, r.completed, r.degraded, r.mismatched,
+    ));
+    out.push_str(&format!(
+        "  \"latency_s\": {{\"mean\": {}, \"p50\": {}, \"p95\": {}, \"max\": {}}},\n",
+        number(r.mean_s),
+        number(r.p50_s),
+        number(r.p95_s),
+        number(r.max_s),
+    ));
+    out.push_str(&format!(
+        "  \"throughput_fps\": {},\n  \"wall_s\": {},\n",
+        number(r.throughput_fps),
+        number(r.wall_s),
+    ));
+    out.push_str(&format!(
+        "  \"steady_state\": {{\"warm_fresh_allocs\": {}, \"end_fresh_allocs\": {}, \
+         \"outstanding_bytes\": {}}}\n}}\n",
+        r.warm_allocs, r.end_allocs, r.outstanding,
+    ));
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, out)
 }
 
 /// Writes the machine-readable host benchmark dump: one record per

@@ -222,6 +222,44 @@ fn repro_chaos_quick_reports_clean_matrix() {
 }
 
 #[test]
+fn repro_stream_quick_smoke_is_clean_and_writes_report() {
+    let dir = temp_dir("stream");
+    let json = dir.join("stream.json");
+    let telemetry = dir.join("telemetry_stream.json");
+    let out = repro()
+        .args(["stream", "--quick", "--telemetry"])
+        .args(["--json", json.to_str().unwrap()])
+        .args(["--telemetry-json", telemetry.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stream smoke reported violations:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("Stream mode"));
+    assert!(text.contains("throughput"));
+    assert!(text.contains("stream smoke clean"));
+    let report = std::fs::read_to_string(&json).unwrap();
+    for key in [
+        "\"throughput_fps\"",
+        "\"latency_s\"",
+        "\"steady_state\"",
+        "\"shed\": 0",
+        "\"checksum_mismatches\": 0",
+        "\"outstanding_bytes\": 0",
+    ] {
+        assert!(report.contains(key), "stream.json missing {key}: {report}");
+    }
+    let telem = std::fs::read_to_string(&telemetry).unwrap();
+    for metric in ["stream.admitted", "stream.completed", "stream.frame_ns"] {
+        assert!(telem.contains(metric), "telemetry missing {metric}");
+    }
+}
+
+#[test]
 fn repro_rejects_unknown_command() {
     let out = repro().arg("bogus").output().unwrap();
     assert!(!out.status.success());

@@ -95,11 +95,27 @@ pub enum Counter {
     PoolWatchdogTrips,
     /// Timed passes executed by the measurement harness.
     HarnessPasses,
+    /// Frames accepted into the stream engine's admission queue.
+    StreamAdmitted,
+    /// Frames refused at admission (queue full, or reduced admission
+    /// while the circuit breaker is open).
+    StreamRejected,
+    /// Frames shed by the dispatcher because their deadline had already
+    /// passed when they reached the head of the queue.
+    StreamShed,
+    /// Frames that completed processing and produced output.
+    StreamCompleted,
+    /// Frames whose processing returned an error or was abandoned by a
+    /// dying worker (chaos runs; zero in production configuration).
+    StreamFailed,
+    /// Frames processed serially by the dispatcher because the pool's
+    /// circuit breaker was open (graceful degradation).
+    StreamDegradedFrames,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 20] = [
         Counter::PipelineBands,
         Counter::PipelineHaloRows,
         Counter::ScratchBytesAllocated,
@@ -114,6 +130,12 @@ impl Counter {
         Counter::PoolDegradedRuns,
         Counter::PoolWatchdogTrips,
         Counter::HarnessPasses,
+        Counter::StreamAdmitted,
+        Counter::StreamRejected,
+        Counter::StreamShed,
+        Counter::StreamCompleted,
+        Counter::StreamFailed,
+        Counter::StreamDegradedFrames,
     ];
 
     /// Index into the per-sink counter array.
@@ -139,6 +161,12 @@ impl Counter {
             Counter::PoolDegradedRuns => "pool.degraded_runs",
             Counter::PoolWatchdogTrips => "pool.watchdog_trips",
             Counter::HarnessPasses => "harness.passes",
+            Counter::StreamAdmitted => "stream.admitted",
+            Counter::StreamRejected => "stream.rejected",
+            Counter::StreamShed => "stream.shed",
+            Counter::StreamCompleted => "stream.completed",
+            Counter::StreamFailed => "stream.failed",
+            Counter::StreamDegradedFrames => "stream.degraded_frames",
         }
     }
 }
@@ -153,11 +181,17 @@ pub enum Gauge {
     ScratchBytesHighWater,
     /// Deepest any worker deque ever got (tasks queued on one worker).
     PoolDequeDepthHighWater,
+    /// Deepest the stream engine's admission queue ever got.
+    StreamQueueDepthHighWater,
 }
 
 impl Gauge {
     /// Every gauge, in display order.
-    pub const ALL: [Gauge; 2] = [Gauge::ScratchBytesHighWater, Gauge::PoolDequeDepthHighWater];
+    pub const ALL: [Gauge; 3] = [
+        Gauge::ScratchBytesHighWater,
+        Gauge::PoolDequeDepthHighWater,
+        Gauge::StreamQueueDepthHighWater,
+    ];
 
     /// Index into the per-sink gauge array.
     #[inline]
@@ -170,6 +204,7 @@ impl Gauge {
         match self {
             Gauge::ScratchBytesHighWater => "scratch.bytes_high_water",
             Gauge::PoolDequeDepthHighWater => "pool.deque_depth_high_water",
+            Gauge::StreamQueueDepthHighWater => "stream.queue_depth_high_water",
         }
     }
 }
@@ -184,11 +219,18 @@ pub enum HistId {
     PipelineBandNanos,
     /// Wall nanoseconds per harness measurement pass (one full image).
     HarnessPassNanos,
+    /// Wall nanoseconds from a frame's admission to its completion in
+    /// the stream engine (queue wait plus processing).
+    StreamFrameNanos,
 }
 
 impl HistId {
     /// Every histogram, in display order.
-    pub const ALL: [HistId; 2] = [HistId::PipelineBandNanos, HistId::HarnessPassNanos];
+    pub const ALL: [HistId; 3] = [
+        HistId::PipelineBandNanos,
+        HistId::HarnessPassNanos,
+        HistId::StreamFrameNanos,
+    ];
 
     /// Index into the per-sink histogram array.
     #[inline]
@@ -201,6 +243,7 @@ impl HistId {
         match self {
             HistId::PipelineBandNanos => "pipeline.band_ns",
             HistId::HarnessPassNanos => "harness.pass_ns",
+            HistId::StreamFrameNanos => "stream.frame_ns",
         }
     }
 }

@@ -3,8 +3,9 @@
 //!
 //! Implements the subset this workspace uses — `Vec::into_par_iter()` /
 //! `Range::into_par_iter()` with `.enumerate()` and `.for_each()`, plus
-//! `ThreadPoolBuilder`/`ThreadPool::install`, `current_num_threads` and
-//! `broadcast` — over a single process-wide worker pool.
+//! `ThreadPoolBuilder`/`ThreadPool::install`, `current_num_threads`,
+//! `broadcast` and detached [`spawn`] — over a single process-wide
+//! worker pool.
 //!
 //! # Scheduler architecture
 //!
@@ -202,20 +203,27 @@ fn breaker_record_success() {
 // Pool internals
 // ---------------------------------------------------------------------------
 
-/// One schedulable unit: a half-open index range of some job.
-///
-/// Holds a raw pointer to the job header on the submitting thread's
-/// stack; the join latch guarantees the header outlives every task.
-struct Task {
-    job: *const JobShared,
-    start: usize,
-    end: usize,
-    /// Pinned tasks ([`broadcast`]) may only run on the queue's owner.
-    pinned: bool,
+/// One schedulable unit: either a half-open index range of a latched
+/// job, or a detached one-shot closure ([`spawn`]).
+enum Task {
+    /// A sub-range of a [`JobShared`]. Holds a raw pointer to the job
+    /// header on the submitting thread's stack; the join latch
+    /// guarantees the header outlives every task.
+    Range {
+        job: *const JobShared,
+        start: usize,
+        end: usize,
+        /// Pinned tasks ([`broadcast`]) may only run on the queue's owner.
+        pinned: bool,
+    },
+    /// A detached closure with no latch: runs once on whichever worker
+    /// pops or steals it; the submitter does not wait.
+    Once(Box<dyn FnOnce() + Send>),
 }
 
 // SAFETY: the job header is Sync (atomics, mutexes and a Sync closure)
-// and outlives the task per the latch protocol.
+// and outlives the task per the latch protocol; the `Once` payload is
+// `Send` by its bound.
 unsafe impl Send for Task {}
 
 /// Per-job header, allocated on the submitting thread's stack.
@@ -337,9 +345,10 @@ impl Pool {
                 continue;
             }
             let mut q = lock(&self.queues[victim]);
-            let eligible = |t: &Task| {
+            let eligible = |t: &Task| match t {
                 // SAFETY: queued tasks keep their job pending (alive).
-                !t.pinned && me < unsafe { &*t.job }.width
+                Task::Range { job, pinned, .. } => !*pinned && me < unsafe { &**job }.width,
+                Task::Once(_) => true,
             };
             if let Some(pos) = q.iter().position(eligible) {
                 let task = q.remove(pos);
@@ -362,17 +371,32 @@ impl Pool {
     /// job still completes, only the worker dies — and is respawned.
     fn execute(&self, me: usize, task: Task) {
         obs::add(obs::Counter::PoolTasks, 1);
+        let (job_ptr, start, mut end) = match task {
+            Task::Range {
+                job, start, end, ..
+            } => (job, start, end),
+            Task::Once(f) => {
+                // Detached task: no latch to settle and no job header to
+                // carry a panic payload, so no leaf catch either — a
+                // panic escaping `f` unwinds this worker (the respawn
+                // guard restores the complement) and, because the
+                // closure has already been consumed, cannot re-run.
+                // Callers needing panic isolation catch inside `f`.
+                faultline::fire("pool.task");
+                f();
+                faultline::fire("pool.worker");
+                return;
+            }
+        };
         // SAFETY: `pending` includes this task, so the header is alive.
-        let job = unsafe { &*task.job };
-        let start = task.start;
-        let mut end = task.end;
+        let job = unsafe { &*job_ptr };
         while end - start > job.grain {
             let mid = start + (end - start) / 2;
             job.pending.fetch_add(1, Ordering::SeqCst);
             self.push(
                 me,
-                Task {
-                    job: task.job,
+                Task::Range {
+                    job: job_ptr,
                     start: mid,
                     end,
                     pinned: false,
@@ -394,7 +418,7 @@ impl Pool {
                 }
             }
         }
-        let settle = LatchSettle(task.job);
+        let settle = LatchSettle(job_ptr);
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
             // Inside the guard: an injected panic here is a *task*
             // failure, carried to the latch like any leaf panic.
@@ -420,18 +444,21 @@ impl Pool {
     /// delay or panic cannot also sabotage the rescue path.
     fn drain_job_inline(&self, job: &JobShared) {
         let job_ptr: *const JobShared = job;
+        let belongs =
+            |t: &Task| matches!(t, Task::Range { job, .. } if std::ptr::eq(*job, job_ptr));
         loop {
             let mut found = None;
             for q in &self.queues {
                 let mut q = lock(q);
-                if let Some(pos) = q.iter().position(|t| std::ptr::eq(t.job, job_ptr)) {
+                if let Some(pos) = q.iter().position(belongs) {
                     found = q.remove(pos);
                     break;
                 }
             }
-            let Some(task) = found else { break };
-            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (job.run)(task.start, task.end)))
-            {
+            let Some(Task::Range { start, end, .. }) = found else {
+                break;
+            };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (job.run)(start, end))) {
                 let mut slot = lock(&job.panic);
                 if slot.is_none() {
                     *slot = Some(payload);
@@ -542,7 +569,7 @@ fn run_job(len: usize, width: usize, leaf: &(dyn Fn(usize, usize) + Sync)) {
         let size = base + usize::from(i < rem);
         pool.push(
             i,
-            Task {
+            Task::Range {
                 job: &job,
                 start,
                 end: start + size,
@@ -646,7 +673,7 @@ where
     for i in 0..n {
         pool.push(
             i,
-            Task {
+            Task::Range {
                 job: &job,
                 start: i,
                 end: i + 1,
@@ -663,6 +690,44 @@ where
     if let Some(payload) = payload {
         resume_unwind(payload);
     }
+}
+
+/// Round-robin cursor distributing [`spawn`]ed tasks across workers.
+static SPAWN_CURSOR: AtomicUsize = AtomicUsize::new(0);
+
+/// Submits a detached closure to the persistent pool and returns
+/// immediately (rayon's `spawn`): the closure runs once on whichever
+/// worker pops or steals it, and **no thread ever blocks on it** — not
+/// the submitter (there is no latch) and no pool worker (the closure is
+/// ordinary queue work, stealable like any task). This is the
+/// submit-from-outside entry the stream engine pipelines frames
+/// through: the dispatcher hands a frame to the pool and moves straight
+/// on to admitting the next one.
+///
+/// Contract differences from latched jobs:
+///
+/// * Completion is the closure's own business — signal through an
+///   `Arc`/channel captured by `f` if the submitter needs to know.
+/// * A panic escaping `f` is **not** carried anywhere: it unwinds the
+///   worker (respawned by the self-healing guard) and the closure,
+///   already consumed, never re-runs. Callers needing panic isolation
+///   catch inside `f`; the stream engine's slot lease is the worked
+///   example (outcome recorded and slot released from a drop guard).
+/// * The circuit breaker neither gates nor counts detached tasks; it
+///   measures latched-job health.
+pub fn spawn<F>(f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    let pool = pool();
+    if let Some(me) = worker_index() {
+        // From inside the pool: queue on our own deque (never block).
+        pool.push(me, Task::Once(Box::new(f)));
+        return;
+    }
+    let n = pool.ensure_workers(current_num_threads().max(1)).max(1);
+    let target = SPAWN_CURSOR.fetch_add(1, Ordering::Relaxed) % n;
+    pool.push(target, Task::Once(Box::new(f)));
 }
 
 /// The pre-pool scheduling, kept as a measurement baseline: spawns one

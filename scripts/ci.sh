@@ -1,33 +1,100 @@
 #!/usr/bin/env bash
-# Full local CI: build, test, lint, format check.
-# Usage: scripts/ci.sh
+# Full local CI, split into named stages with per-stage wall time.
+#
+# Usage:
+#   scripts/ci.sh                 run every stage in order
+#   scripts/ci.sh --stage NAME    run a single stage (perf runs even
+#                                 without CI_PERF=1)
+#   CI_PERF=1 scripts/ci.sh       also run the perf-regression gate:
+#                                 `repro host` + scripts_check_bench.py
+#                                 against the committed BENCH_host.json
+#                                 (threshold via CI_PERF_THRESHOLD, %)
+#
+# Stage order keeps the fail-fast suites (pool stress, chaos matrix,
+# stream smoke, telemetry) ahead of the full test sweep so scheduler,
+# fault-tolerance, and streaming regressions surface in seconds.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+STAGES=(build pool-stress chaos-stress stream-smoke telemetry test workspace-test clippy fmt)
+if [[ "${CI_PERF:-0}" == "1" ]]; then
+  STAGES+=(perf)
+fi
 
-echo "==> pool stress (scheduler regressions fail fast)"
-cargo test -q -p rayon pool_stress_many_small_calls
+stage_build() {
+  cargo build --release
+}
 
-echo "==> chaos stress (fault-tolerance regressions fail fast; pinned seed)"
-cargo test -q -p rayon --test chaos
-cargo run -q --release -p repro-harness --bin repro -- chaos --quick --seed 42
+stage_pool_stress() {
+  cargo test -q -p rayon pool_stress_many_small_calls
+}
 
-echo "==> telemetry fail-fast (overhead smoke + pool-counter aggregation)"
-cargo test -q -p simdbench-core --test telemetry_overhead
-cargo test -q -p rayon --test telemetry
+stage_chaos_stress() {
+  cargo test -q -p rayon --test chaos
+  cargo run -q --release -p repro-harness --bin repro -- chaos --quick --seed 42
+}
 
-echo "==> cargo test -q"
-cargo test -q
+stage_stream_smoke() {
+  # Asserts zero shed frames, zero steady-state arena growth, and
+  # bit-exact output at the smoke rate; exits nonzero on violation.
+  cargo run -q --release -p repro-harness --bin repro -- stream --quick
+}
 
-echo "==> cargo test --workspace -q"
-cargo test --workspace -q
+stage_telemetry() {
+  cargo test -q -p simdbench-core --test telemetry_overhead
+  cargo test -q -p rayon --test telemetry
+}
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+stage_test() {
+  cargo test -q
+}
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+stage_workspace_test() {
+  cargo test --workspace -q
+}
 
+stage_clippy() {
+  cargo clippy --workspace --all-targets -- -D warnings
+}
+
+stage_fmt() {
+  cargo fmt --check
+}
+
+stage_perf() {
+  cargo run -q --release -p repro-harness --bin repro -- host
+  python3 scripts_check_bench.py results/bench_host.json BENCH_host.json
+}
+
+run_stage() {
+  local name="$1"
+  local fn="stage_${name//-/_}"
+  if ! declare -F "$fn" >/dev/null; then
+    echo "unknown stage: $name (known: ${STAGES[*]} perf)" >&2
+    exit 2
+  fi
+  echo "==> [$name]"
+  local t0=$SECONDS
+  "$fn"
+  local dt=$((SECONDS - t0))
+  TIMING_REPORT+="$(printf '%-16s %4ds' "$name" "$dt")"$'\n'
+  echo "--- [$name] ${dt}s"
+}
+
+TIMING_REPORT=""
+
+if [[ "${1:-}" == "--stage" ]]; then
+  run_stage "${2:?--stage needs a name}"
+elif [[ -n "${1:-}" ]]; then
+  echo "usage: scripts/ci.sh [--stage NAME]" >&2
+  exit 2
+else
+  for s in "${STAGES[@]}"; do
+    run_stage "$s"
+  done
+fi
+
+echo
+echo "stage wall times:"
+printf '%s' "$TIMING_REPORT"
 echo "CI OK"

@@ -9,13 +9,19 @@ The trajectory is a JSON object:
   {"runs": [{"date": "...", "protocol": {...}, "measurements": [...]}]}
 Each invocation appends one run entry; an entry whose measurements are
 byte-identical to the last run is skipped (re-running the merge is
-idempotent). Sibling of scripts_extract_bench.py, which summarises
+idempotent). Telemetry output is namespaced per subcommand
+(results/telemetry_<cmd>.json); when the host run was taken with
+--telemetry, its counters from results/telemetry_host.json are attached
+to the run entry so the trajectory carries pool/scratch counters next
+to the timings. Sibling of scripts_extract_bench.py, which summarises
 criterion output; this one owns the repro-host side.
 """
 import datetime
 import json
 import os
 import sys
+
+HOST_TELEMETRY = "results/telemetry_host.json"
 
 
 def merge(src_path, traj_path):
@@ -35,6 +41,12 @@ def merge(src_path, traj_path):
         "protocol": run.get("protocol", {}),
         "measurements": run["measurements"],
     }
+    telemetry_path = os.path.join(os.path.dirname(src_path) or ".", "telemetry_host.json")
+    if not os.path.exists(telemetry_path):
+        telemetry_path = HOST_TELEMETRY
+    if os.path.exists(telemetry_path):
+        with open(telemetry_path) as f:
+            entry["telemetry_counters"] = json.load(f).get("counters", {})
     if traj["runs"] and traj["runs"][-1]["measurements"] == entry["measurements"]:
         print(f"{traj_path}: last run identical, nothing to merge")
         return
